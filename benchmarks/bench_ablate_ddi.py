@@ -1,0 +1,68 @@
+"""A4 -- DDI two-tier storage: cache TTL vs hit rate and response latency.
+
+Paper SIV-D: requests hit the in-memory database first and fall back to
+disk.  This ablation replays a drive's worth of uploads plus a recency-
+skewed query mix for several cache TTLs and reports hit rate and mean
+modelled response latency, plus the disk-only baseline.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.ddi import DDIService, DiskDB, Record
+
+TTLS = (5.0, 30.0, 120.0, 600.0)
+DRIVE_SECONDS = 600
+QUERIES = 300
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def replay(ttl_s: float, tmpdir: str) -> tuple[float, float]:
+    clock = Clock()
+    service = DDIService(clock, DiskDB(f"{tmpdir}/ttl-{ttl_s}"), cache_ttl_s=ttl_s)
+    rng = np.random.default_rng(0)
+    latencies = []
+    hits = 0
+    query_times = iter(sorted(rng.uniform(60, DRIVE_SECONDS, QUERIES)))
+    next_query = next(query_times)
+    for t in range(DRIVE_SECONDS):
+        clock.now = float(t)
+        service.upload(Record("obd", float(t), 0.0, 0.0, {"speed": 10.0}))
+        while next_query is not None and next_query <= t:
+            # Recency-skewed: most queries ask about the recent past.
+            span = float(rng.choice([10.0, 30.0, 120.0], p=[0.6, 0.3, 0.1]))
+            result = service.download("obd", max(0.0, t - span), float(t))
+            latencies.append(result.modelled_latency_s)
+            hits += result.from_cache
+            next_query = next(query_times, None)
+    return hits / len(latencies), float(np.mean(latencies))
+
+
+def test_ddi_cache_sweep(benchmark, tmp_path):
+    rows = benchmark.pedantic(
+        lambda: [(ttl, *replay(ttl, str(tmp_path))) for ttl in TTLS],
+        rounds=1, iterations=1,
+    )
+
+    lines = ["A4 -- DDI two-tier storage: cache TTL sweep "
+             f"({DRIVE_SECONDS}s drive, {QUERIES} recency-skewed queries)",
+             f"{'cache TTL s':>12s}{'hit rate':>10s}{'mean latency ms':>17s}"]
+    for ttl, hit_rate, latency in rows:
+        lines.append(f"{ttl:>12.0f}{hit_rate:>10.2f}{latency * 1e3:>17.2f}")
+    lines.append(f"{'disk only':>12s}{0.0:>10.2f}{20.0:>17.2f}")
+    write_report("ablate_ddi", lines)
+
+    hit_rates = [hit for _ttl, hit, _lat in rows]
+    latencies = [lat for _ttl, _hit, lat in rows]
+    assert hit_rates == sorted(hit_rates), "longer TTL, higher hit rate"
+    assert latencies == sorted(latencies, reverse=True), "higher hit rate, lower latency"
+    # The architectural claim: the cache tier pays for itself.
+    assert latencies[-1] < 0.020 / 2, "two-tier beats disk-only by >2x at long TTL"

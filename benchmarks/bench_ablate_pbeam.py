@@ -1,0 +1,55 @@
+"""A3 -- the pBEAM pipeline: compression sweep and personalization gain.
+
+Paper SIV-E builds pBEAM by Deep-Compressing a cloud-trained cBEAM and
+transfer-learning it on local data.  This ablation sweeps the pruning
+level and reports download size, accuracy of the compressed common model
+on an idiosyncratic driver, and accuracy after personalization.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.libvdap import build_pbeam, train_cbeam
+from repro.workloads import DriverProfile, fleet_dataset
+
+SPARSITIES = (0.0, 0.4, 0.65, 0.8, 0.9)
+
+
+def sweep():
+    rng = np.random.default_rng(0)
+    fleet_x, fleet_y = fleet_dataset(15, 120, rng)
+    driver = DriverProfile("outlier", aggressiveness=2.5,
+                           speed_preference_mps=4.0, smoothness=0.7)
+    rows = []
+    for sparsity in SPARSITIES:
+        cbeam = train_cbeam(fleet_x, fleet_y, epochs=12, seed=0)
+        result = build_pbeam(
+            cbeam, driver, sparsity=sparsity, bits=5,
+            rng=np.random.default_rng(1),
+        )
+        rows.append(
+            (sparsity, result.download_bytes, result.compression.compression_ratio,
+             result.cbeam_accuracy_on_driver, result.pbeam_accuracy_on_driver)
+        )
+    return rows
+
+
+def test_pbeam_compression_sweep(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["A3 -- pBEAM: Deep-Compression sweep + personalization gain",
+             f"{'sparsity':>9s}{'download B':>12s}{'ratio':>8s}{'cBEAM acc':>11s}{'pBEAM acc':>11s}"]
+    for sparsity, nbytes, ratio, common, personal in rows:
+        lines.append(
+            f"{sparsity:>9.2f}{nbytes:>12.0f}{ratio:>8.1f}{common:>11.3f}{personal:>11.3f}"
+        )
+    write_report("ablate_pbeam", lines)
+
+    downloads = [row[1] for row in rows]
+    assert downloads == sorted(downloads, reverse=True), "more pruning, smaller download"
+    for _s, _b, _r, common, personal in rows[:-1]:  # extreme pruning may crater
+        assert personal >= common - 0.02, "personalization never hurts materially"
+    # At the default operating point the gain is real.
+    default = rows[2]
+    assert default[4] > default[3]

@@ -1,0 +1,53 @@
+"""E3 -- Figure 3: Inception v3 latency and max power across processors.
+
+Paper values (ms): DSP (Intel MNCS) 334.5, GPU#1 (TX2 Max-Q) 242.8,
+GPU#2 (TX2 Max-P) 114.3, CPU (i7-6700) 153.9, GPU#3 (V100) 26.8; power
+bars rise from the ~2.5 W USB stick to the 250 W datacenter GPU.
+
+Our rows: the Inception v3 FLOP model through the calibrated processor
+catalog.  The timed unit is the whole five-device sweep.
+"""
+
+import pytest
+
+from conftest import write_report
+from repro.hw.catalog import FIGURE3_DEVICES
+from repro.nn import INCEPTION_V3
+
+PAPER_MS = {
+    "DSP-based": 334.5,
+    "GPU#1": 242.8,
+    "GPU#2": 114.3,
+    "CPU-based": 153.9,
+    "GPU#3": 26.8,
+}
+
+
+def sweep():
+    rows = []
+    for label, factory in FIGURE3_DEVICES:
+        device = factory()
+        rows.append(
+            (label, device.name, INCEPTION_V3.inference_time_s(device) * 1e3,
+             device.tdp_watts)
+        )
+    return rows
+
+
+def test_fig3_report(benchmark):
+    rows = benchmark(sweep)
+
+    lines = ["E3 / Figure 3 -- Inception v3 per-image latency and max power",
+             f"{'label':12s}{'device':24s}{'measured ms':>13s}{'paper ms':>10s}{'power W':>9s}"]
+    for label, name, ms, watts in rows:
+        lines.append(f"{label:12s}{name:24s}{ms:>13.1f}{PAPER_MS[label]:>10.1f}{watts:>9.1f}")
+    write_report("fig3_processors", lines)
+
+    times = {label: ms for label, _n, ms, _w in rows}
+    powers = [watts for _l, _n, _ms, watts in rows]
+    # The paper's speed ranking and its power staircase.
+    assert times["GPU#3"] < times["GPU#2"] < times["CPU-based"] < times["GPU#1"] < times["DSP-based"]
+    assert powers == sorted(powers)
+    # Each latency within 15% of the paper's bar.
+    for label, expected in PAPER_MS.items():
+        assert times[label] == pytest.approx(expected, rel=0.15)

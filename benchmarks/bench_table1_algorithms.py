@@ -1,0 +1,52 @@
+"""E1 -- Table I: latency of autonomous-driving algorithms on a 2.4 GHz vCPU.
+
+Paper values: Lane Detection 13.57 ms, Vehicle Detection (Haar) 269.46 ms,
+Vehicle Detection (TensorFlow) 13 971.98 ms -- the Haar detector ~51x
+faster than the deep one.
+
+Our rows come from mechanistic op counts of real from-scratch kernels
+(Sobel+Hough, integral-image Haar cascade, sliding-window numpy CNN)
+divided by the vCPU's sustained throughput.  The timed unit is the actual
+lane-detection kernel on a real 640x480 synthetic frame.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.vision import detect_lanes, road_scene, table1_rows
+
+PAPER_MS = {
+    "Lane Detection": 13.57,
+    "Vehicle Detection (Haar)": 269.46,
+    "Vehicle Detection (CNN)": 13971.98,
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_rows(rng=np.random.default_rng(0))
+
+
+def test_table1_report(rows, benchmark):
+    scene, _ = road_scene(rng=np.random.default_rng(1))
+    benchmark(detect_lanes, scene)
+
+    lines = ["E1 / Table I -- algorithm latency on AWS EC2 2.4 GHz vCPU",
+             f"{'algorithm':28s}{'ops':>12s}{'measured ms':>14s}{'paper ms':>12s}"]
+    for row in rows:
+        lines.append(
+            f"{row.name:28s}{row.ops:>12.3g}{row.latency_ms:>14.2f}"
+            f"{PAPER_MS[row.name]:>12.2f}"
+        )
+    lane, haar, cnn = (r.latency_ms for r in rows)
+    lines.append("")
+    lines.append(f"CNN/Haar ratio: measured {cnn / haar:.1f}x, paper "
+                 f"{PAPER_MS['Vehicle Detection (CNN)'] / PAPER_MS['Vehicle Detection (Haar)']:.1f}x")
+    lines.append(f"Haar/Lane ratio: measured {haar / lane:.1f}x, paper "
+                 f"{PAPER_MS['Vehicle Detection (Haar)'] / PAPER_MS['Lane Detection']:.1f}x")
+    write_report("table1_algorithms", lines)
+
+    # Shape assertions: ordering and the headline ~51x gap.
+    assert lane < haar < cnn
+    assert 20 < cnn / haar < 110

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table/figure) or one ablation.
+Besides the pytest-benchmark timing of a representative unit of work, each
+bench writes its full paper-style table to ``benchmarks/results/<name>.txt``
+and prints it, so the numbers survive quiet pytest runs.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, lines: list[str]) -> str:
+    """Persist and echo a bench's result table; returns the file path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"\n{text}")
+    return path

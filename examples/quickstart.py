@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: bring up the platform and run one service end to end.
+
+Builds the canonical world (one CAV with a heterogeneous VCU, XEdge
+servers along the road, a remote cloud), boots the on-board platform
+(mHEP + DSF + DDI + data sharing), and drives one AMBER-search invocation
+through libvdap: plan the offload, then execute the on-board share of the
+work on the VCU.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ddi import DDIService, DiskDB, OBDCollector
+from repro.edgeos import DataSharingBus
+from repro.hw import catalog
+from repro.libvdap import LibVDAP
+from repro.sim import Simulator
+from repro.topology import SpeedProfile, build_default_world
+from repro.vcu import DSF, MHEP, SECOND_LEVEL
+from repro.workloads import amber_search_graph
+
+
+def main() -> None:
+    # --- the world: vehicle + XEdge + cloud --------------------------------
+    world = build_default_world(speed_mps=13.4)
+    print("world:", world.vehicle.name,
+          f"+ {len(world.edges)} XEdge servers + cloud")
+
+    # --- the on-board platform ---------------------------------------------
+    sim = Simulator()
+    mhep = MHEP(sim)
+    for processor in world.vehicle.processors:
+        mhep.register(processor)
+    # A passenger's phone joins the 2ndHEP.
+    mhep.register(catalog.passenger_phone(), level=SECOND_LEVEL)
+    dsf = DSF(sim, mhep)
+
+    ddi = DDIService(lambda: sim.now, DiskDB("/tmp/openvdap-quickstart"))
+    ddi.attach_collector(
+        OBDCollector(profile=SpeedProfile([(0.0, 13.4)]),
+                     rng=np.random.default_rng(0))
+    )
+    lib = LibVDAP(dsf, ddi, DataSharingBus(), world=world)
+
+    # --- what does the platform offer? --------------------------------------
+    print("\ncompressed models in libvdap:")
+    for model in lib.call("GET", "/models")[:3]:
+        print(f"  {model['name']:14s} {model['compressed_size_bytes'] / 1e6:6.1f} MB"
+              f" (full: {model['full_size_bytes'] / 1e6:.1f} MB)")
+
+    print("\nVCU devices:")
+    for name, profile in lib.call("GET", "/resources").items():
+        print(f"  {name:20s} level={profile['level']} "
+              f"peak={profile['peak_gops']:.0f} Gop/s")
+
+    # --- plan and run one AMBER-search invocation ----------------------------
+    graph = amber_search_graph()
+    decision = lib.call("POST", "/offload/plan", graph=graph, deadline_s=2.0)
+    print(f"\noffload plan ({decision.strategy}):")
+    for task, tier in decision.placement.assignment.items():
+        print(f"  {task:16s} -> {tier}")
+    print(f"  predicted latency: {decision.evaluation.latency_s * 1e3:.1f} ms, "
+          f"uplink: {decision.evaluation.uplink_bytes / 1e3:.0f} KB, "
+          f"meets 2 s deadline: {decision.meets_deadline}")
+
+    # Execute the whole graph on the VCU for comparison.
+    job = lib.call("POST", "/tasks", graph=amber_search_graph())
+    sim.run()
+    print(f"\nall-on-VCU execution: {job.value.latency_s * 1e3:.1f} ms "
+          f"(devices: {sorted(set(job.value.task_devices.values()))})")
+
+    # --- DDI: collect and query driving data ----------------------------------
+    for t in range(5):
+        ddi.collect_all(float(t))
+    obd = lib.call("GET", "/data/obd", t0=0.0, t1=5.0)
+    speeds = [r.payload["speed_mps"] for r in obd.records]
+    print(f"\nDDI: {len(obd.records)} OBD records "
+          f"(cache hit: {obd.from_cache}), speeds {speeds[:3]} ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""OpenVDAP reproduction: an Open Vehicular Data Analytics Platform for CAVs.
+
+A full-stack, simulation-backed reproduction of Zhang et al., ICDCS 2018:
+
+* :mod:`repro.sim` -- deterministic discrete-event kernel
+* :mod:`repro.hw` / :mod:`repro.net` / :mod:`repro.topology` -- hardware,
+  network, and mobility substrates
+* :mod:`repro.nn` / :mod:`repro.vision` -- numpy deep-learning and
+  computer-vision substrates
+* :mod:`repro.vcu` -- the heterogeneous vehicle computing unit (mHEP + DSF)
+* :mod:`repro.offload` -- task graphs and offloading strategies
+* :mod:`repro.edgeos` -- EdgeOSv: elastic management, security, privacy,
+  data sharing
+* :mod:`repro.ddi` -- the driving data integrator
+* :mod:`repro.libvdap` -- the open application library (models, pBEAM, API)
+* :mod:`repro.apps` -- the four in-vehicle service classes + V2V collab
+* :mod:`repro.workloads` / :mod:`repro.metrics` -- generators and reports
+"""
+
+__version__ = "1.0.0"
+
+from . import apps, ddi, edgeos, hw, libvdap, metrics, net, nn, offload, sim
+from . import scenario, topology, vcu, vision, workloads
+
+__all__ = [
+    "__version__",
+    "apps",
+    "ddi",
+    "edgeos",
+    "hw",
+    "libvdap",
+    "metrics",
+    "net",
+    "nn",
+    "offload",
+    "scenario",
+    "sim",
+    "topology",
+    "vcu",
+    "vision",
+    "workloads",
+]

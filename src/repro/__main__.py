@@ -1,0 +1,105 @@
+"""Command-line entry point: quick reproduction runs without pytest.
+
+Usage::
+
+    python -m repro table1        # Table I rows
+    python -m repro fig2          # Figure 2 loss table (short: 60 s streams)
+    python -m repro fig2 --full   # the paper's full 5-minute streams
+    python -m repro fig3          # Figure 3 processor sweep
+    python -m repro drive         # a 120 s managed-services drive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def cmd_table1(_args) -> None:
+    from .vision import table1_rows
+
+    print("Table I -- algorithm latency on AWS EC2 2.4 GHz vCPU")
+    for row in table1_rows(rng=np.random.default_rng(0)):
+        print(f"  {row.name:28s} {row.latency_ms:10.2f} ms  ({row.ops:.3g} ops)")
+
+
+def cmd_fig2(args) -> None:
+    from .net import VIDEO_720P, VIDEO_1080P, run_drive_stream
+
+    duration = 300.0 if args.full else 60.0
+    print(f"Figure 2 -- loss streaming video over LTE ({duration:.0f} s streams)")
+    print(f"  {'scenario':16s}{'packet':>9s}{'frame':>9s}{'handoffs':>10s}")
+    for speed in (0, 35, 70):
+        for profile in (VIDEO_720P, VIDEO_1080P):
+            result = run_drive_stream(
+                profile, speed, duration_s=duration, rng=np.random.default_rng(42)
+            )
+            label = ("Static" if speed == 0 else f"{speed}MPH") + " " + profile.name
+            print(f"  {label:16s}{result.packet_loss_rate:>9.3f}"
+                  f"{result.frame_loss_rate:>9.3f}{result.handoffs:>10d}")
+
+
+def cmd_fig3(_args) -> None:
+    from .hw.catalog import FIGURE3_DEVICES
+    from .nn import INCEPTION_V3
+
+    print("Figure 3 -- Inception v3 per-image latency / max power")
+    for label, factory in FIGURE3_DEVICES:
+        device = factory()
+        ms = INCEPTION_V3.inference_time_s(device) * 1e3
+        print(f"  {label:12s}{device.name:24s}{ms:8.1f} ms {device.tdp_watts:7.1f} W")
+
+
+def cmd_drive(args) -> None:
+    from .apps import make_adas_service, make_amber_service
+    from .hw import catalog
+    from .scenario import DriveScenario
+    from .topology import build_default_world
+
+    world = build_default_world(
+        speed_mps=10.0, edge_count=3, edge_spacing_m=600.0,
+        vehicle_processors=[catalog.intel_i7_6700(), catalog.intel_mncs()],
+    )
+    for edge in world.edges:
+        edge.coverage_radius_m = 220.0
+    scenario = DriveScenario(world=world)
+    scenario.add_service(make_adas_service(deadline_s=0.6), period_s=1.0)
+    scenario.add_service(make_amber_service(deadline_s=3.0), period_s=5.0)
+    report = scenario.run(duration_s=args.seconds)
+    print(f"drive: {report.duration_s:.0f} s, "
+          f"{report.vehicle_energy_j:.1f} J on-board compute")
+    for name, svc in report.services.items():
+        print(f"  {name:20s} invocations={svc.invocations:4d} "
+              f"mean={svc.latency.mean * 1e3:7.1f} ms "
+              f"misses={svc.deadline_misses} switches={svc.switches}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="OpenVDAP reproduction: quick experiment runs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table I algorithm latencies")
+    fig2 = sub.add_parser("fig2", help="Figure 2 loss table")
+    fig2.add_argument("--full", action="store_true",
+                      help="run the paper's full 5-minute streams")
+    sub.add_parser("fig3", help="Figure 3 processor sweep")
+    drive = sub.add_parser("drive", help="a managed-services drive scenario")
+    drive.add_argument("--seconds", type=float, default=120.0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": cmd_table1,
+        "fig2": cmd_fig2,
+        "fig3": cmd_fig3,
+        "drive": cmd_drive,
+    }
+    handlers[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Real-time diagnostics service (paper SII-A).
+
+"In future CAVs, this type of service should be built in the vehicle,
+which collects the related vehicle data, including real-time data and
+historical data, and quietly analyzes it to predict faults."
+
+Two analysis paths over DDI records:
+
+* :meth:`check` -- instantaneous rule-based diagnostic trouble codes
+  (the modern OBD-II codes);
+* :meth:`predict` -- trend extrapolation over historical data ("quietly
+  analyzes it to predict faults"): a linear fit forecasting when a channel
+  will cross its fault threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ddi.diskdb import Record
+
+__all__ = ["Fault", "Prediction", "DiagnosticsService"]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One raised diagnostic trouble code."""
+
+    code: str
+    severity: str  # "warn" | "critical"
+    message: str
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A forecast fault: the channel will cross its threshold at eta."""
+
+    channel: str
+    eta_s: float
+    threshold: float
+    slope_per_s: float
+
+
+#: (channel, comparator, threshold, code, severity, message)
+_RULES = (
+    ("engine_temp_c", ">", 105.0, "P0217", "critical", "engine overheating"),
+    ("tire_pressure_kpa", "<", 190.0, "C0750", "warn", "low tire pressure"),
+    ("battery_v", "<", 12.2, "P0562", "warn", "system voltage low"),
+    ("rpm", ">", 6200.0, "P0219", "critical", "engine overspeed"),
+)
+
+#: Channels monitored for slow drift, with their fault thresholds and sign.
+_TREND_CHANNELS = {
+    "engine_temp_c": (105.0, +1),
+    "tire_pressure_kpa": (190.0, -1),
+    "battery_v": (12.2, -1),
+}
+
+
+class DiagnosticsService:
+    """Rule-based + predictive diagnostics over OBD records."""
+
+    def __init__(self):
+        self.faults: list[Fault] = []
+
+    def check(self, record: Record) -> list[Fault]:
+        """Evaluate the instantaneous rules against one OBD record."""
+        raised = []
+        for channel, op, threshold, code, severity, message in _RULES:
+            value = record.payload.get(channel)
+            if value is None:
+                continue
+            if (op == ">" and value > threshold) or (op == "<" and value < threshold):
+                raised.append(
+                    Fault(code=code, severity=severity, message=message,
+                          timestamp=record.timestamp)
+                )
+        self.faults.extend(raised)
+        return raised
+
+    def predict(
+        self, records: list[Record], horizon_s: float = 3600.0
+    ) -> list[Prediction]:
+        """Forecast threshold crossings within ``horizon_s`` by linear fit.
+
+        Needs at least 3 samples of a channel; a channel drifting toward
+        its threshold yields a Prediction with the estimated time-to-fault.
+        """
+        if len(records) < 3:
+            return []
+        times = np.array([r.timestamp for r in records])
+        predictions = []
+        for channel, (threshold, direction) in _TREND_CHANNELS.items():
+            values = np.array(
+                [r.payload.get(channel, np.nan) for r in records], dtype=float
+            )
+            mask = ~np.isnan(values)
+            if mask.sum() < 3:
+                continue
+            t, v = times[mask], values[mask]
+            slope, intercept = np.polyfit(t - t[0], v, 1)
+            if slope * direction <= 1e-12:
+                continue  # not drifting toward the threshold
+            current = v[-1]
+            remaining = (threshold - current) * direction
+            if remaining <= 0:
+                eta = 0.0
+            else:
+                eta = remaining / (slope * direction)
+            if eta <= horizon_s:
+                predictions.append(
+                    Prediction(
+                        channel=channel,
+                        eta_s=float(eta),
+                        threshold=threshold,
+                        slope_per_s=float(slope),
+                    )
+                )
+        return predictions

@@ -1,0 +1,153 @@
+"""In-vehicle infotainment: adaptive streaming playback (paper SII-C).
+
+"Video or audio data must be downloaded from the Internet and then decoded
+locally ... these applications not only require compute resources but also
+present a high requirement on the network bandwidth."
+
+The session models chunked streaming with a playout buffer and a simple
+buffer-based adaptive-bitrate controller; given a bandwidth trace it
+reports startup delay, rebuffering, and the quality mix delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BitrateLadder", "PlaybackReport", "StreamingSession"]
+
+#: Available encodings (name, Mbps) from lowest to highest quality.
+BitrateLadder = (
+    ("360p", 1.0),
+    ("480p", 2.0),
+    ("720p", 3.8),
+    ("1080p", 5.8),
+)
+
+CHUNK_SECONDS = 4.0
+
+
+@dataclass
+class PlaybackReport:
+    """Quality-of-experience metrics of one session."""
+
+    startup_delay_s: float = 0.0
+    rebuffer_events: int = 0
+    rebuffer_seconds: float = 0.0
+    chunks_played: int = 0
+    quality_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_quality_index(self) -> float:
+        if not self.chunks_played:
+            return 0.0
+        names = [name for name, _rate in BitrateLadder]
+        total = sum(
+            names.index(name) * count for name, count in self.quality_counts.items()
+        )
+        return total / self.chunks_played
+
+
+class StreamingSession:
+    """Buffer-based ABR playback over a piecewise-constant bandwidth trace.
+
+    ``bandwidth_trace`` is a list of (start_time_s, mbps) knots; bandwidth
+    holds constant between knots.  The controller picks the highest rung
+    whose bitrate fits within a safety fraction of current bandwidth, and
+    downshifts when the buffer runs low.
+    """
+
+    def __init__(
+        self,
+        bandwidth_trace: list[tuple[float, float]],
+        buffer_target_s: float = 12.0,
+        safety: float = 0.8,
+    ):
+        if not bandwidth_trace:
+            raise ValueError("bandwidth trace must be non-empty")
+        if any(rate <= 0 for _t, rate in bandwidth_trace):
+            raise ValueError("bandwidth must be positive")
+        self.trace = sorted(bandwidth_trace)
+        self.buffer_target_s = buffer_target_s
+        self.safety = safety
+
+    def bandwidth_at(self, time_s: float) -> float:
+        current = self.trace[0][1]
+        for start, rate in self.trace:
+            if start <= time_s:
+                current = rate
+            else:
+                break
+        return current
+
+    def download_time(self, start_s: float, chunk_bits: float) -> float:
+        """Seconds to move ``chunk_bits`` starting at ``start_s``, integrating
+        the piecewise-constant bandwidth across knot boundaries (a transfer
+        that begins in a bad second speeds up when the link recovers)."""
+        remaining = chunk_bits
+        clock = start_s
+        knots = [t for t, _rate in self.trace if t > start_s]
+        for boundary in knots:
+            rate_bps = self.bandwidth_at(clock) * 1e6
+            window = boundary - clock
+            capacity_bits = rate_bps * window
+            if capacity_bits >= remaining:
+                return clock + remaining / rate_bps - start_s
+            remaining -= capacity_bits
+            clock = boundary
+        # Past the last knot: bandwidth holds constant.
+        return clock + remaining / (self.bandwidth_at(clock) * 1e6) - start_s
+
+    def _choose_quality(self, bandwidth_mbps: float, buffer_s: float) -> tuple[str, float]:
+        usable = bandwidth_mbps * self.safety
+        if buffer_s < CHUNK_SECONDS:  # panic: grab the cheapest chunk
+            return BitrateLadder[0]
+        best = BitrateLadder[0]
+        for name, rate in BitrateLadder:
+            if rate <= usable:
+                best = (name, rate)
+        return best
+
+    def play(self, duration_s: float) -> PlaybackReport:
+        """Simulate a session of ``duration_s`` of content."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        report = PlaybackReport()
+        clock = 0.0
+        buffer_s = 0.0
+        played_s = 0.0
+        started = False
+
+        while played_s < duration_s:
+            name, rate = self._choose_quality(self.bandwidth_at(clock), buffer_s)
+            chunk_bits = rate * 1e6 * CHUNK_SECONDS
+            download_s = self.download_time(clock, chunk_bits)
+
+            if not started:
+                clock += download_s
+                buffer_s += CHUNK_SECONDS
+                report.startup_delay_s = clock
+                started = True
+            else:
+                # Playback drains the buffer while the next chunk downloads.
+                drained = min(buffer_s, download_s)
+                stall = download_s - drained
+                played_s += drained
+                buffer_s -= drained
+                if stall > 0:
+                    report.rebuffer_events += 1
+                    report.rebuffer_seconds += stall
+                clock += download_s
+                buffer_s += CHUNK_SECONDS
+
+            report.quality_counts[name] = report.quality_counts.get(name, 0) + 1
+            report.chunks_played += 1
+
+            # Buffer full: let playback catch up before fetching more.
+            if buffer_s >= self.buffer_target_s:
+                idle = buffer_s - self.buffer_target_s + CHUNK_SECONDS
+                advance = min(idle, duration_s - played_s)
+                played_s += advance
+                buffer_s -= advance
+                clock += advance
+
+        return report

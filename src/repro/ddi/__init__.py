@@ -1,0 +1,36 @@
+"""DDI: driving data integrator (collectors, two-tier store, service API)."""
+
+from .can import EV_POWERTRAIN, CanCollector, CanFrame, CanMessageSpec, CanSignal
+from .collectors import (
+    Collector,
+    OBDCollector,
+    SocialCollector,
+    TrafficCollector,
+    WeatherCollector,
+)
+from .diskdb import DiskDB, Record
+from .memdb import CacheStats, MemDB
+from .service import DDIService, DownloadResult
+from .uplink import CloudDataServer, MigrationStats, UplinkMigrator
+
+__all__ = [
+    "CacheStats",
+    "CanCollector",
+    "CanFrame",
+    "CanMessageSpec",
+    "CanSignal",
+    "EV_POWERTRAIN",
+    "CloudDataServer",
+    "MigrationStats",
+    "UplinkMigrator",
+    "Collector",
+    "DDIService",
+    "DiskDB",
+    "DownloadResult",
+    "MemDB",
+    "OBDCollector",
+    "Record",
+    "SocialCollector",
+    "TrafficCollector",
+    "WeatherCollector",
+]

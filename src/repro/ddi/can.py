@@ -1,0 +1,161 @@
+"""CAN-bus frame codec and collector.
+
+Paper SIV-D: "we used an OBD reader since most of the normal vehicles only
+provide an OBD interface ... in the future, we will adapt this to more
+types of vehicles by multifold devices, such as CAN card for electric
+vehicles."
+
+This module is that adapter: a little-endian CAN signal codec (DBC-style
+signal specs: start bit, length, scale, offset), frame encode/decode, and
+a collector that produces real encoded frames from a drive profile and
+decodes them back into DDI records -- so the DDI's EV path exercises an
+actual wire format rather than a dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.mobility import SpeedProfile
+from .collectors import Collector
+from .diskdb import Record
+
+__all__ = ["CanSignal", "CanMessageSpec", "CanFrame", "CanCollector", "EV_POWERTRAIN"]
+
+FRAME_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CanSignal:
+    """One signal inside a CAN frame (little-endian, unsigned raw)."""
+
+    name: str
+    start_bit: int
+    length: int
+    scale: float = 1.0
+    offset: float = 0.0
+    unit: str = ""
+
+    def __post_init__(self):
+        if not 0 <= self.start_bit < FRAME_BYTES * 8:
+            raise ValueError(f"start bit out of range: {self.start_bit}")
+        if self.length < 1 or self.start_bit + self.length > FRAME_BYTES * 8:
+            raise ValueError(f"signal {self.name!r} exceeds the frame")
+        if self.scale == 0:
+            raise ValueError("scale must be non-zero")
+
+    @property
+    def raw_max(self) -> int:
+        return (1 << self.length) - 1
+
+    def encode(self, physical: float) -> int:
+        """Physical value -> raw integer (clamped to the field width)."""
+        raw = int(round((physical - self.offset) / self.scale))
+        return max(0, min(self.raw_max, raw))
+
+    def decode(self, raw: int) -> float:
+        return raw * self.scale + self.offset
+
+
+@dataclass(frozen=True)
+class CanMessageSpec:
+    """A frame layout: CAN id plus its signals (must not overlap)."""
+
+    can_id: int
+    name: str
+    signals: tuple[CanSignal, ...]
+
+    def __post_init__(self):
+        used = set()
+        for signal in self.signals:
+            bits = set(range(signal.start_bit, signal.start_bit + signal.length))
+            if bits & used:
+                raise ValueError(f"signal {signal.name!r} overlaps another")
+            used |= bits
+
+    def encode(self, values: dict[str, float]) -> "CanFrame":
+        data = 0
+        for signal in self.signals:
+            if signal.name not in values:
+                raise KeyError(f"missing signal {signal.name!r}")
+            data |= signal.encode(values[signal.name]) << signal.start_bit
+        return CanFrame(can_id=self.can_id, data=data.to_bytes(FRAME_BYTES, "little"))
+
+    def decode(self, frame: "CanFrame") -> dict[str, float]:
+        if frame.can_id != self.can_id:
+            raise ValueError(f"frame id {frame.can_id:#x} != spec id {self.can_id:#x}")
+        data = int.from_bytes(frame.data, "little")
+        return {
+            signal.name: signal.decode((data >> signal.start_bit) & signal.raw_max)
+            for signal in self.signals
+        }
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """One frame on the wire: 11/29-bit id + 8 data bytes."""
+
+    can_id: int
+    data: bytes
+
+    def __post_init__(self):
+        if len(self.data) != FRAME_BYTES:
+            raise ValueError(f"CAN data must be {FRAME_BYTES} bytes")
+
+
+#: An EV powertrain frame: speed, motor power, battery SoC and temperature.
+EV_POWERTRAIN = CanMessageSpec(
+    can_id=0x2A0,
+    name="ev_powertrain",
+    signals=(
+        CanSignal("speed_mps", start_bit=0, length=12, scale=0.05, unit="m/s"),
+        CanSignal("motor_power_kw", start_bit=12, length=12, scale=0.1,
+                  offset=-100.0, unit="kW"),
+        CanSignal("battery_soc", start_bit=24, length=10, scale=0.1, unit="%"),
+        CanSignal("battery_temp_c", start_bit=34, length=8, scale=0.5,
+                  offset=-40.0, unit="C"),
+    ),
+)
+
+
+@dataclass
+class CanCollector(Collector):
+    """EV driving data through the real CAN codec.
+
+    Each sample encodes the physical state into a frame and decodes it
+    back, so quantization behaves exactly as it would on the wire.
+    """
+
+    profile: SpeedProfile
+    rng: np.random.Generator
+    spec: CanMessageSpec = EV_POWERTRAIN
+    stream: str = "can"
+    initial_soc: float = 90.0
+    _frames_emitted: int = 0
+
+    def sample(self, time_s: float) -> Record:
+        speed = self.profile.speed(time_s)
+        dt = 0.5
+        accel = (self.profile.speed(time_s + dt) - speed) / dt
+        # Simple longitudinal power model: rolling + aero + inertia.
+        mass = 2000.0
+        power_w = speed * (180.0 + 0.6 * speed**2 + mass * accel)
+        soc = max(0.0, self.initial_soc - time_s / 3600.0 * 8.0)  # ~8%/h
+        physical = {
+            "speed_mps": float(speed),
+            "motor_power_kw": float(np.clip(power_w / 1000.0, -100.0, 300.0)),
+            "battery_soc": float(soc),
+            "battery_temp_c": 25.0 + float(self.rng.normal(0, 0.5)),
+        }
+        frame = self.spec.encode(physical)
+        self._frames_emitted += 1
+        decoded = self.spec.decode(frame)
+        return Record(
+            stream=self.stream,
+            timestamp=time_s,
+            x_m=self.profile.position(time_s),
+            y_m=0.0,
+            payload={name: round(value, 3) for name, value in decoded.items()},
+        )

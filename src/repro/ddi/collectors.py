@@ -1,0 +1,137 @@
+"""Data collectors: OBD, on-board sensors, weather, traffic, social web.
+
+Paper SIV-D / Figure 7: "The data of DDI consists of four aspects: vehicle
+driving data, weather information, traffic condition, as well as social web
+information like some emergencies.  OBD reader and on-board sensors collect
+the driving data, which includes the location, speed, acceleration, angular
+velocity and so on."
+
+Each collector is a pure generator-of-records parameterized by time and a
+seeded RNG, so drive sessions are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.mobility import SpeedProfile
+from .diskdb import Record
+
+__all__ = [
+    "Collector",
+    "OBDCollector",
+    "WeatherCollector",
+    "TrafficCollector",
+    "SocialCollector",
+]
+
+
+class Collector:
+    """Base: sample(time_s) -> Record."""
+
+    stream = "base"
+
+    def sample(self, time_s: float) -> Record:
+        raise NotImplementedError
+
+
+@dataclass
+class OBDCollector(Collector):
+    """Driving data derived from a mobility profile plus engine dynamics."""
+
+    profile: SpeedProfile
+    rng: np.random.Generator
+    stream: str = "obd"
+
+    def sample(self, time_s: float) -> Record:
+        speed = self.profile.speed(time_s)
+        position = self.profile.position(time_s)
+        # Acceleration from a small finite difference on the profile.
+        dt = 0.5
+        accel = (self.profile.speed(time_s + dt) - speed) / dt
+        rpm = 800.0 + speed * 110.0 + float(self.rng.normal(0, 25))
+        return Record(
+            stream=self.stream,
+            timestamp=time_s,
+            x_m=position,
+            y_m=0.0,
+            payload={
+                "speed_mps": round(float(speed), 3),
+                "accel_mps2": round(float(accel), 3),
+                "rpm": round(max(0.0, rpm), 1),
+                "engine_temp_c": round(88.0 + float(self.rng.normal(0, 1.5)), 2),
+                "tire_pressure_kpa": round(230.0 + float(self.rng.normal(0, 3)), 1),
+                "battery_v": round(13.8 + float(self.rng.normal(0, 0.1)), 2),
+            },
+        )
+
+
+@dataclass
+class WeatherCollector(Collector):
+    """Local weather from 'vehicle-specific APIs' (synthesized)."""
+
+    rng: np.random.Generator
+    stream: str = "weather"
+    _conditions = ("clear", "rain", "snow", "fog")
+
+    def sample(self, time_s: float) -> Record:
+        # Slowly varying: condition changes on a ~20-minute scale.
+        epoch = int(time_s // 1200)
+        condition = self._conditions[
+            int(np.random.default_rng(epoch * 31 + 7).integers(0, 4))
+        ]
+        return Record(
+            stream=self.stream,
+            timestamp=time_s,
+            x_m=0.0,
+            y_m=0.0,
+            payload={
+                "condition": condition,
+                "temperature_c": round(12.0 + float(self.rng.normal(0, 2)), 1),
+                "visibility_m": 10_000 if condition == "clear" else 1_500,
+            },
+        )
+
+
+@dataclass
+class TrafficCollector(Collector):
+    """Real-time traffic conditions along the route."""
+
+    rng: np.random.Generator
+    stream: str = "traffic"
+
+    def sample(self, time_s: float) -> Record:
+        congestion = float(np.clip(self.rng.beta(2, 5), 0, 1))
+        return Record(
+            stream=self.stream,
+            timestamp=time_s,
+            x_m=float(self.rng.uniform(0, 5000)),
+            y_m=0.0,
+            payload={
+                "congestion": round(congestion, 3),
+                "avg_speed_mps": round(29.0 * (1 - congestion), 2),
+                "incidents": int(self.rng.poisson(0.05)),
+            },
+        )
+
+
+@dataclass
+class SocialCollector(Collector):
+    """Social-web emergencies near the vehicle (synthesized feed)."""
+
+    rng: np.random.Generator
+    stream: str = "social"
+    _kinds = ("accident", "road_closure", "event_crowd", "weather_alert")
+
+    def sample(self, time_s: float) -> Record:
+        has_event = bool(self.rng.random() < 0.1)
+        kind = self._kinds[int(self.rng.integers(0, 4))] if has_event else "none"
+        return Record(
+            stream=self.stream,
+            timestamp=time_s,
+            x_m=float(self.rng.uniform(0, 5000)),
+            y_m=0.0,
+            payload={"kind": kind, "severity": int(self.rng.integers(0, 3)) if has_event else 0},
+        )

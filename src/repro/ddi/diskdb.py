@@ -1,0 +1,164 @@
+"""Log-structured persistent store with a time-space index (MySQL stand-in).
+
+Paper SIV-D: "As the data from the collector layer is time-space related,
+disk database is utilized to store it ... All the related data includes
+location and timestamp.  Collected data are permanently stored in the disk
+database."
+
+Design: one append-only JSON-lines segment per stream; an in-memory index
+of (timestamp -> file offset) kept sorted, rebuilt on open by scanning the
+segment.  Queries are a binary search over the time index with an optional
+bounding-box filter on location.  Appends are durable after ``flush``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Record", "DiskDB"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One stored datum: stream, time, location, payload."""
+
+    stream: str
+    timestamp: float
+    x_m: float
+    y_m: float
+    payload: dict
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "t": self.timestamp,
+                "x": self.x_m,
+                "y": self.y_m,
+                "p": self.payload,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, stream: str, line: str) -> "Record":
+        obj = json.loads(line)
+        return cls(
+            stream=stream, timestamp=obj["t"], x_m=obj["x"], y_m=obj["y"], payload=obj["p"]
+        )
+
+
+class _Segment:
+    """Append-only file for one stream, plus its sorted time index."""
+
+    def __init__(self, path: str, stream: str):
+        self.path = path
+        self.stream = stream
+        self.times: list[float] = []
+        self.offsets: list[int] = []
+        self._rebuild_index()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def _rebuild_index(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        offset = 0
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                stripped = line.strip()
+                if stripped:
+                    record = Record.from_json(self.stream, stripped)
+                    # Maintain sortedness even if writers interleave times.
+                    idx = bisect.bisect_right(self.times, record.timestamp)
+                    self.times.insert(idx, record.timestamp)
+                    self.offsets.insert(idx, offset)
+                offset += len(line.encode("utf-8"))
+
+    def append(self, record: Record) -> None:
+        line = record.to_json() + "\n"
+        offset = self._handle.tell()
+        self._handle.write(line)
+        idx = bisect.bisect_right(self.times, record.timestamp)
+        self.times.insert(idx, record.timestamp)
+        self.offsets.insert(idx, offset)
+
+    def flush(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def scan(self, t0: float, t1: float) -> Iterator[Record]:
+        """Records with t0 <= timestamp < t1, in time order."""
+        self.flush()
+        lo = bisect.bisect_left(self.times, t0)
+        hi = bisect.bisect_left(self.times, t1)
+        if lo >= hi:
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for offset in self.offsets[lo:hi]:
+                fh.seek(offset)
+                yield Record.from_json(self.stream, fh.readline())
+
+
+class DiskDB:
+    """Multi-stream persistent store rooted at a directory."""
+
+    def __init__(self, root: str):
+        os.makedirs(root, exist_ok=True)
+        self.root = root
+        self._segments: dict[str, _Segment] = {}
+
+    def _segment(self, stream: str) -> _Segment:
+        if stream not in self._segments:
+            safe = stream.replace("/", "_")
+            self._segments[stream] = _Segment(
+                os.path.join(self.root, f"{safe}.jsonl"), stream
+            )
+        return self._segments[stream]
+
+    @property
+    def streams(self) -> list[str]:
+        on_disk = {
+            name[: -len(".jsonl")]
+            for name in os.listdir(self.root)
+            if name.endswith(".jsonl")
+        }
+        return sorted(on_disk | set(self._segments))
+
+    def put(self, record: Record) -> None:
+        self._segment(record.stream).append(record)
+
+    def flush(self) -> None:
+        for segment in self._segments.values():
+            segment.flush()
+
+    def close(self) -> None:
+        for segment in self._segments.values():
+            segment.close()
+        self._segments.clear()
+
+    def query(
+        self,
+        stream: str,
+        t0: float,
+        t1: float,
+        bbox: tuple[float, float, float, float] | None = None,
+    ) -> list[Record]:
+        """Time-range query with optional (x0, y0, x1, y1) location filter."""
+        if t1 < t0:
+            raise ValueError("query range end before start")
+        records = list(self._segment(stream).scan(t0, t1))
+        if bbox is not None:
+            x0, y0, x1, y1 = bbox
+            records = [
+                r for r in records if x0 <= r.x_m <= x1 and y0 <= r.y_m <= y1
+            ]
+        return records
+
+    def count(self, stream: str) -> int:
+        return len(self._segment(stream).times)

@@ -1,0 +1,139 @@
+"""DDI -> cloud data migration and the open community dataset.
+
+Paper SIV-A: "All data collected by the DDI will be cached on the vehicle
+and eventually migrated to a cloud based data server.  Note that these
+data will be open to the community."
+
+Two pieces:
+
+* :class:`CloudDataServer` -- the community-facing store: ingests record
+  batches, deduplicates, and serves open queries (with the Privacy
+  module's location generalization already applied on the vehicle side).
+* :class:`UplinkMigrator` -- the vehicle-side background job: drains
+  not-yet-migrated DDI records in batches whenever uplink bandwidth is
+  good enough, tracks a durable watermark so migration is resumable, and
+  accounts the bytes it ships.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..edgeos.privacy import LocationFuzzer
+from ..net.channel import LinkModel
+from .diskdb import DiskDB, Record
+
+__all__ = ["CloudDataServer", "UplinkMigrator", "MigrationStats"]
+
+
+class CloudDataServer:
+    """The open vehicle-data server the community queries."""
+
+    def __init__(self):
+        self._records: dict[str, list[Record]] = {}
+        self._seen: set[tuple[str, float, float]] = set()
+        self.batches_ingested = 0
+
+    def ingest(self, records: list[Record]) -> int:
+        """Store a batch; returns how many were new (dedup by key)."""
+        new = 0
+        for record in records:
+            key = (record.stream, record.timestamp, record.x_m)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self._records.setdefault(record.stream, []).append(record)
+            new += 1
+        self.batches_ingested += 1
+        return new
+
+    def open_query(self, stream: str, t0: float, t1: float) -> list[Record]:
+        """The free community API: time-range query over a stream."""
+        if t1 < t0:
+            raise ValueError("query range end before start")
+        return sorted(
+            (r for r in self._records.get(stream, []) if t0 <= r.timestamp < t1),
+            key=lambda r: r.timestamp,
+        )
+
+    def count(self, stream: str) -> int:
+        return len(self._records.get(stream, []))
+
+
+@dataclass
+class MigrationStats:
+    """Accounting of one migrator's lifetime."""
+
+    records_migrated: int = 0
+    bytes_shipped: float = 0.0
+    transfer_seconds: float = 0.0
+    batches: int = 0
+    deferred_rounds: int = 0
+
+
+class UplinkMigrator:
+    """Vehicle-side background migration with a resumable watermark."""
+
+    def __init__(
+        self,
+        diskdb: DiskDB,
+        server: CloudDataServer,
+        streams: list[str],
+        min_bandwidth_mbps: float = 2.0,
+        batch_size: int = 100,
+        fuzzer: LocationFuzzer | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self.disk = diskdb
+        self.server = server
+        self.streams = list(streams)
+        self.min_bandwidth_mbps = min_bandwidth_mbps
+        self.batch_size = batch_size
+        self.fuzzer = fuzzer
+        # Watermark per stream: everything strictly before it has migrated.
+        self._watermark: dict[str, float] = {stream: 0.0 for stream in streams}
+        self.stats = MigrationStats()
+
+    def watermark(self, stream: str) -> float:
+        return self._watermark[stream]
+
+    def pending(self, stream: str, horizon_s: float) -> list[Record]:
+        return self.disk.query(stream, self._watermark[stream], horizon_s)
+
+    def _privatize(self, record: Record) -> Record:
+        if self.fuzzer is None:
+            return record
+        gx, gy = self.fuzzer.generalize(record.x_m, record.y_m)
+        return Record(record.stream, record.timestamp, gx, gy, record.payload)
+
+    def run_round(self, now_s: float, link: LinkModel) -> int:
+        """One migration opportunity: ship up to one batch per stream.
+
+        Defers entirely when the link is below the bandwidth floor (the
+        cellular uplink is shared with latency-sensitive services).
+        Returns the number of records migrated this round.
+        """
+        if link.bandwidth_mbps < self.min_bandwidth_mbps:
+            self.stats.deferred_rounds += 1
+            return 0
+        migrated = 0
+        for stream in self.streams:
+            batch = self.pending(stream, now_s)[: self.batch_size]
+            if not batch:
+                continue
+            shipped = [self._privatize(record) for record in batch]
+            nbytes = float(sum(len(r.to_json()) for r in shipped))
+            self.stats.transfer_seconds += link.transfer_time(nbytes)
+            self.stats.bytes_shipped += nbytes
+            self.server.ingest(shipped)
+            # Advance the watermark just past the last shipped record.
+            self._watermark[stream] = batch[-1].timestamp + 1e-9
+            migrated += len(batch)
+            self.stats.records_migrated += len(batch)
+            self.stats.batches += 1
+        return migrated
+
+    def fully_migrated(self, now_s: float) -> bool:
+        return all(not self.pending(stream, now_s) for stream in self.streams)

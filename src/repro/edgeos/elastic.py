@@ -1,0 +1,129 @@
+"""Elastic Management: pipeline selection and service hang-up/resume.
+
+Paper SIV-C: "The Elastic Management module can choose an optimal pipeline
+of a Polymorphic Service to get a smallest end-to-end latency ... or
+achieve other goals, such as energy efficiency. ... some services will be
+hung up, which cannot be responded to within the required time no matter
+what ... Once the network quality fails to meet the response time
+requirement, it can dynamically adjust the pipeline ... If the network
+quality and computation resources cannot support this service, the service
+will be hung up until meeting requirements again."
+
+:class:`ElasticManager.retune` is the periodic re-evaluation: it scores
+every pipeline of every managed service against the current world (whose
+links the caller updates as network quality moves) and switches, hangs or
+resumes accordingly.  This module is where the DEIR *Differentiation*
+property lives -- each service is treated per its own QoS and deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..offload.placement import PlacementEvaluation, evaluate_placement
+from ..topology.world import World
+from .service import Pipeline, PolymorphicService, ServiceState
+
+__all__ = ["PipelineChoice", "ElasticManager"]
+
+GOAL_LATENCY = "latency"
+GOAL_ENERGY = "energy"
+
+
+@dataclass(frozen=True)
+class PipelineChoice:
+    """Outcome of one service's re-evaluation."""
+
+    service: str
+    pipeline: str | None  # None => hung up
+    evaluation: PlacementEvaluation | None
+    switched: bool
+    hung: bool
+
+
+class ElasticManager:
+    """Manages every service on the vehicle (paper Figure 6)."""
+
+    def __init__(self, goal: str = GOAL_LATENCY):
+        if goal not in (GOAL_LATENCY, GOAL_ENERGY):
+            raise ValueError(f"unknown goal {goal!r}")
+        self.goal = goal
+        self._services: dict[str, PolymorphicService] = {}
+        self.switch_log: list[PipelineChoice] = []
+
+    def register(self, service: PolymorphicService) -> None:
+        if service.name in self._services:
+            raise ValueError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+
+    def unregister(self, name: str) -> PolymorphicService:
+        if name not in self._services:
+            raise KeyError(f"unknown service {name!r}")
+        return self._services.pop(name)
+
+    def service(self, name: str) -> PolymorphicService:
+        return self._services[name]
+
+    @property
+    def services(self) -> list[PolymorphicService]:
+        return list(self._services.values())
+
+    # -- pipeline scoring ------------------------------------------------------
+
+    def _score(self, evaluation: PlacementEvaluation) -> tuple:
+        if self.goal == GOAL_ENERGY:
+            return (evaluation.vehicle_energy_j, evaluation.latency_s)
+        return (evaluation.latency_s, evaluation.vehicle_energy_j)
+
+    def evaluate_pipelines(
+        self, service: PolymorphicService, world: World
+    ) -> dict[str, PlacementEvaluation]:
+        """Cost of every pipeline of a service under current conditions."""
+        graph = service.graph_factory()
+        out = {}
+        for pipeline in service.pipelines:
+            out[pipeline.name] = evaluate_placement(graph, pipeline.placement(), world)
+        return out
+
+    def choose(self, service: PolymorphicService, world: World) -> PipelineChoice:
+        """Pick the best pipeline meeting the deadline, or hang the service."""
+        evaluations = self.evaluate_pipelines(service, world)
+        feasible = {
+            name: ev
+            for name, ev in evaluations.items()
+            if ev.feasible and ev.latency_s <= service.deadline_s
+        }
+        previous = service.active_pipeline
+        was_hung = service.state is ServiceState.HUNG
+
+        if not feasible:
+            if service.state is ServiceState.RUNNING:
+                service.hang_count += 1
+            service.state = ServiceState.HUNG
+            service.active_pipeline = None
+            choice = PipelineChoice(
+                service=service.name, pipeline=None, evaluation=None,
+                switched=previous is not None, hung=True,
+            )
+        else:
+            best_name = min(feasible, key=lambda n: self._score(feasible[n]))
+            service.state = ServiceState.RUNNING
+            service.active_pipeline = best_name
+            choice = PipelineChoice(
+                service=service.name,
+                pipeline=best_name,
+                evaluation=feasible[best_name],
+                switched=(previous != best_name) or was_hung,
+                hung=False,
+            )
+        self.switch_log.append(choice)
+        return choice
+
+    def retune(self, world: World) -> list[PipelineChoice]:
+        """Re-evaluate all managed services against the current world."""
+        return [
+            self.choose(service, world)
+            for service in self._services.values()
+            if service.state
+            in (ServiceState.RUNNING, ServiceState.HUNG)
+        ]

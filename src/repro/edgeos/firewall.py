@@ -1,0 +1,150 @@
+"""Wireless-interface firewall (paper SIII-D).
+
+"The availability of diverse on-board wireless communication interfaces
+(e.g., DSRC, cellular network, Bluetooth) make the CAV be more vulnerable
+to be attacked ... the firewall as a basic can be used to protect some
+attacks."
+
+A first-match rule engine over (interface, direction, peer, port/topic)
+tuples with a default-deny policy for inbound traffic on every wireless
+interface, stateful allow-replies, and per-rule hit counters plus an audit
+trail of drops -- the instrumentation the Security module's monitor reads.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+
+__all__ = ["Direction", "Interface", "Rule", "PacketMeta", "Firewall"]
+
+
+class Direction:
+    """Traffic direction relative to the vehicle."""
+
+    IN = "in"
+    OUT = "out"
+    ALL = (IN, OUT)
+
+
+class Interface:
+    """The paper's on-board wireless interfaces."""
+
+    DSRC = "dsrc"
+    CELLULAR = "cellular"
+    WIFI = "wifi"
+    BLUETOOTH = "bluetooth"
+    ALL = (DSRC, CELLULAR, WIFI, BLUETOOTH)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One firewall rule; glob patterns match peers and services."""
+
+    action: str  # "allow" | "deny"
+    interface: str = "*"
+    direction: str = "*"
+    peer: str = "*"  # peer identity / pseudonym pattern
+    service: str = "*"  # destination service / topic pattern
+
+    def __post_init__(self):
+        if self.action not in ("allow", "deny"):
+            raise ValueError(f"action must be allow/deny, got {self.action!r}")
+        if self.interface != "*" and self.interface not in Interface.ALL:
+            raise ValueError(f"unknown interface {self.interface!r}")
+        if self.direction != "*" and self.direction not in Direction.ALL:
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+    def matches(self, packet: "PacketMeta") -> bool:
+        return (
+            self.interface in ("*", packet.interface)
+            and self.direction in ("*", packet.direction)
+            and fnmatch.fnmatch(packet.peer, self.peer)
+            and fnmatch.fnmatch(packet.service, self.service)
+        )
+
+
+@dataclass(frozen=True)
+class PacketMeta:
+    """What the filter sees of one packet/connection attempt."""
+
+    interface: str
+    direction: str
+    peer: str
+    service: str
+
+
+@dataclass
+class _RuleStats:
+    rule: Rule
+    hits: int = 0
+
+
+class Firewall:
+    """First-match filter with default-deny for inbound wireless traffic.
+
+    Outbound traffic defaults to allow (the vehicle initiates its own
+    connections); every inbound flow needs an explicit allow or an
+    established outbound flow to the same (interface, peer, service).
+    """
+
+    def __init__(self, rules: list[Rule] | None = None):
+        self._rules = [_RuleStats(rule) for rule in (rules or [])]
+        self._established: set[tuple[str, str, str]] = set()
+        self.dropped: list[PacketMeta] = []
+
+    def add_rule(self, rule: Rule, position: int | None = None) -> None:
+        entry = _RuleStats(rule)
+        if position is None:
+            self._rules.append(entry)
+        else:
+            self._rules.insert(position, entry)
+
+    @property
+    def rules(self) -> list[Rule]:
+        return [entry.rule for entry in self._rules]
+
+    def hits(self, index: int) -> int:
+        return self._rules[index].hits
+
+    def permits(self, packet: PacketMeta) -> bool:
+        """First-match evaluation; updates state and audit."""
+        for entry in self._rules:
+            if entry.rule.matches(packet):
+                entry.hits += 1
+                allowed = entry.rule.action == "allow"
+                self._track(packet, allowed)
+                return allowed
+        # No rule matched: stateful default.
+        key = (packet.interface, packet.peer, packet.service)
+        if packet.direction == Direction.OUT:
+            self._established.add(key)
+            return True
+        if key in self._established:
+            return True  # reply to a flow we initiated
+        self.dropped.append(packet)
+        return False
+
+    def _track(self, packet: PacketMeta, allowed: bool) -> None:
+        key = (packet.interface, packet.peer, packet.service)
+        if allowed and packet.direction == Direction.OUT:
+            self._established.add(key)
+        if not allowed:
+            self.dropped.append(packet)
+
+    @classmethod
+    def vehicle_default(cls) -> "Firewall":
+        """The shipping policy: V2V safety beacons and platform services in,
+        everything else inbound denied; diagnostics port reachable only
+        over Bluetooth from paired devices."""
+        return cls(
+            rules=[
+                Rule("allow", Interface.DSRC, Direction.IN, service="safety-beacon"),
+                Rule("allow", Interface.DSRC, Direction.IN, service="recognized-plates"),
+                Rule("allow", Interface.CELLULAR, Direction.IN, peer="cloud.openvdap.org",
+                     service="model-update"),
+                Rule("allow", Interface.BLUETOOTH, Direction.IN, peer="paired:*",
+                     service="obd-diagnostics"),
+                Rule("deny", "*", Direction.IN, service="obd-diagnostics"),
+            ]
+        )

@@ -1,0 +1,107 @@
+"""Service migration between vehicles (paper SIII-D).
+
+"This problem will become more serious in the context supporting
+collaboration between vehicles.  For example, the service might be
+migrated from a neighbor vehicle which may not be trustworthy."
+
+The migration protocol here addresses exactly that: a container image plus
+state is transferred over a V2V link, but it is only *admitted* if (a) the
+image's measurement matches a trusted registry entry, and (b) the sender's
+pseudonym verifies.  Admitted services land in a fresh container; rejected
+migrations are quarantined and audited.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..net.channel import LinkModel
+from .privacy import PseudonymManager
+from .security import Container
+
+__all__ = ["MigrationOffer", "MigrationResult", "MigrationManager"]
+
+
+@dataclass(frozen=True)
+class MigrationOffer:
+    """What a neighbour vehicle sends: image, state, and provenance."""
+
+    service_name: str
+    image: bytes
+    state: dict
+    sender_pseudonym: str
+    sent_at_s: float
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """Outcome of one admission decision."""
+
+    accepted: bool
+    reason: str
+    transfer_s: float = 0.0
+    container: Container | None = None
+
+
+class MigrationManager:
+    """Receiver-side admission control for migrated services."""
+
+    def __init__(self, trusted_images: dict[str, str] | None = None):
+        # service name -> sha256 hex of the pristine image
+        self._trusted: dict[str, str] = dict(trusted_images or {})
+        self._peers: dict[str, PseudonymManager] = {}
+        self.quarantine: list[MigrationOffer] = []
+        self.audit: list[tuple[str, bool, str]] = []
+
+    @staticmethod
+    def measure(image: bytes) -> str:
+        return hashlib.sha256(image).hexdigest()
+
+    def trust_image(self, service_name: str, image: bytes) -> None:
+        """Register a pristine image measurement (e.g. from the app store)."""
+        self._trusted[service_name] = self.measure(image)
+
+    def trust_peer(self, pseudonyms: PseudonymManager) -> None:
+        """Register a peer whose pseudonyms we can verify (shared secret
+        provisioned through the platform's identity service)."""
+        self._peers[pseudonyms.vehicle_id] = pseudonyms
+
+    def _verify_sender(self, offer: MigrationOffer) -> bool:
+        return any(
+            manager.verify(offer.sender_pseudonym, offer.sent_at_s)
+            for manager in self._peers.values()
+        )
+
+    def receive(
+        self, offer: MigrationOffer, link: LinkModel | None = None
+    ) -> MigrationResult:
+        """Admit or quarantine a migration offer.
+
+        ``link`` (V2V DSRC/Wi-Fi) is used to cost the image+state transfer.
+        """
+        transfer_s = 0.0
+        if link is not None:
+            state_bytes = float(len(repr(offer.state).encode()))
+            transfer_s = link.transfer_time(len(offer.image) + state_bytes)
+
+        if offer.service_name not in self._trusted:
+            self.quarantine.append(offer)
+            self.audit.append((offer.service_name, False, "unknown image"))
+            return MigrationResult(False, "unknown image", transfer_s)
+
+        if self.measure(offer.image) != self._trusted[offer.service_name]:
+            self.quarantine.append(offer)
+            self.audit.append((offer.service_name, False, "image tampered"))
+            return MigrationResult(False, "image tampered", transfer_s)
+
+        if not self._verify_sender(offer):
+            self.quarantine.append(offer)
+            self.audit.append((offer.service_name, False, "untrusted sender"))
+            return MigrationResult(False, "untrusted sender", transfer_s)
+
+        container = Container(owner=offer.service_name, image=offer.image)
+        for path, data in offer.state.items():
+            container.write_file(path, data)
+        self.audit.append((offer.service_name, True, "admitted"))
+        return MigrationResult(True, "admitted", transfer_s, container=container)

@@ -1,0 +1,128 @@
+"""Automatic pipeline generation for polymorphic services.
+
+The paper's services each hand-list their pipelines ("all on board", "all
+on the edge", "split ...").  For arbitrary third-party task graphs libvdap
+shouldn't require that by hand: this module enumerates the *downward-closed
+cuts* of the DAG -- every way to run a dependency-closed prefix on the
+vehicle and the rest on a remote tier -- which is exactly the space of
+placements where no intermediate result ever travels backwards.
+
+Sensor-bound tasks (those with ``source_bytes``) are pinned to the
+vehicle: a camera cannot be offloaded.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from typing import Callable
+
+from ..offload.task import TaskGraph
+from ..topology.nodes import Tier
+from .service import Pipeline, PolymorphicService
+
+__all__ = ["generate_pipelines", "downward_closed_cuts", "service_from_graph"]
+
+
+def downward_closed_cuts(graph: TaskGraph) -> list[frozenset]:
+    """All dependency-closed task subsets (candidates for the local side).
+
+    A set S is downward closed when every predecessor of a member is also
+    a member -- running S locally and the complement remotely never needs
+    a remote->local->remote round trip.  Exponential in the worst case, so
+    callers should keep graphs small (services are; the paper's largest
+    pipeline has three stages).
+    """
+    names = graph.task_names
+    if len(names) > 16:
+        raise ValueError(f"graph too large to enumerate cuts: {len(names)} tasks")
+    cuts = []
+    for r in range(len(names) + 1):
+        for combo in itertools.combinations(names, r):
+            subset = frozenset(combo)
+            closed = all(
+                set(graph.predecessors(name)) <= subset for name in subset
+            )
+            if closed:
+                cuts.append(subset)
+    return cuts
+
+
+def generate_pipelines(
+    graph: TaskGraph,
+    remote_tiers: tuple[str, ...] = (Tier.EDGE,),
+    pin_sources_local: bool = True,
+) -> list[Pipeline]:
+    """Every downward-closed split of ``graph``, as named pipelines.
+
+    Names are ``onboard`` (everything local), ``all-<tier>`` (everything
+    remote), and ``split-<k>-<tier>`` for proper splits with k local tasks.
+    Duplicate assignments (from symmetric cuts) are collapsed.
+    """
+    for tier in remote_tiers:
+        if tier not in (Tier.EDGE, Tier.CLOUD):
+            raise ValueError(f"remote tier must be edge/cloud, got {tier!r}")
+    pinned = {
+        task.name for task in graph.tasks if pin_sources_local and task.source_bytes > 0
+    }
+    pipelines: list[Pipeline] = []
+    seen: set[tuple] = set()
+    for local_set in downward_closed_cuts(graph):
+        if not pinned <= local_set and len(local_set) < len(graph):
+            # A pinned sensor task would leave the vehicle: skip, unless
+            # this is the degenerate "everything remote with no pinned
+            # tasks" case handled by the subset check itself.
+            if pinned - local_set:
+                continue
+        for tier in remote_tiers:
+            assignment = {
+                name: (Tier.VEHICLE if name in local_set else tier)
+                for name in graph.task_names
+            }
+            key = tuple(sorted(assignment.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            local_count = len(local_set)
+            if local_count == len(graph):
+                name = "onboard"
+            elif local_count == 0:
+                name = f"all-{tier}"
+            else:
+                name = f"split-{local_count}-{tier}"
+            # Splits with equal local counts but different sets need
+            # distinct names.
+            suffix = 0
+            base = name
+            while any(p.name == name for p in pipelines):
+                suffix += 1
+                name = f"{base}.{suffix}"
+            pipelines.append(Pipeline(name, assignment))
+            if local_count == len(graph):
+                break  # "onboard" is tier-independent; emit once
+    return pipelines
+
+
+def service_from_graph(
+    name: str,
+    qos: int,
+    deadline_s: float,
+    graph_factory: Callable[[], TaskGraph],
+    remote_tiers: tuple[str, ...] = (Tier.EDGE,),
+    requires_tee: bool = False,
+) -> PolymorphicService:
+    """A managed polymorphic service with auto-generated pipelines.
+
+    This is how a third-party developer registers an app through libvdap
+    without hand-writing pipelines: give the platform your task graph and
+    QoS; Elastic Management explores every dependency-respecting split.
+    """
+    pipelines = generate_pipelines(graph_factory(), remote_tiers=remote_tiers)
+    return PolymorphicService(
+        name=name,
+        qos=qos,
+        deadline_s=deadline_s,
+        graph_factory=graph_factory,
+        pipelines=pipelines,
+        requires_tee=requires_tee,
+    )

@@ -1,0 +1,176 @@
+"""Security module: TEE enclaves, containers, compromise monitoring.
+
+Paper SIV-C: "the Security module ... relies on the trusted execution
+environment (TEE) technique.  The major benefits of using TEE can ensure
+all services running on top be securely isolated via encryption of their
+corresponding memory space.  For other non-TEE supported services, the
+containerization ... is a good candidate for isolation and migration ...
+Moreover, the Security module monitors services and prevents them from
+compromising.  Once the service is compromised, this module will remove
+the compromised one and re-install an initialized one" (Reliability).
+
+The simulation models the *semantics* that matter to the platform:
+encrypted enclave memory unreadable without the session key, attestation
+over a code measurement, per-container namespaces, and the
+remove-and-reinstall recovery loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+from .service import PolymorphicService, ServiceState
+
+__all__ = ["AttestationError", "TEEEnclave", "Container", "SecurityModule"]
+
+
+class AttestationError(RuntimeError):
+    """Raised when an enclave's measurement does not match expectations."""
+
+
+def _measure(code: bytes) -> str:
+    return hashlib.sha256(code).hexdigest()
+
+
+class TEEEnclave:
+    """An encrypted execution compartment with remote attestation.
+
+    Memory written into the enclave is stored XOR-encrypted under a
+    per-enclave key; reads require the session key handed out at creation.
+    ``attest`` reproduces the measured-launch check: the quote is an HMAC
+    of the code measurement under the platform key.
+    """
+
+    def __init__(self, owner: str, code: bytes, platform_key: bytes):
+        self.owner = owner
+        self._measurement = _measure(code)
+        self._platform_key = platform_key
+        self._session_key = hashlib.sha256(platform_key + owner.encode()).digest()
+        self._memory: dict[str, bytes] = {}
+
+    @property
+    def session_key(self) -> bytes:
+        return self._session_key
+
+    @property
+    def measurement(self) -> str:
+        return self._measurement
+
+    def _crypt(self, data: bytes) -> bytes:
+        key = self._session_key
+        return bytes(b ^ key[i % len(key)] for i, b in enumerate(data))
+
+    def write(self, address: str, data: bytes) -> None:
+        self._memory[address] = self._crypt(data)
+
+    def read(self, address: str, session_key: bytes) -> bytes:
+        """Decrypt; a wrong key yields garbage, never plaintext."""
+        stored = self._memory[address]
+        if session_key == self._session_key:
+            return self._crypt(stored)
+        # Attackers with the wrong key see only ciphertext-derived bytes.
+        return bytes(b ^ session_key[i % len(session_key)] for i, b in enumerate(stored))
+
+    def raw_memory(self, address: str) -> bytes:
+        """What a physical attacker dumping DRAM would see (ciphertext)."""
+        return self._memory[address]
+
+    def quote(self) -> str:
+        """Attestation quote: HMAC(platform_key, measurement)."""
+        return hmac.new(
+            self._platform_key, self._measurement.encode(), hashlib.sha256
+        ).hexdigest()
+
+    def verify_quote(self, expected_code: bytes) -> None:
+        expected = hmac.new(
+            self._platform_key, _measure(expected_code).encode(), hashlib.sha256
+        ).hexdigest()
+        if not hmac.compare_digest(expected, self.quote()):
+            raise AttestationError(f"enclave {self.owner!r} failed attestation")
+
+
+@dataclass
+class Container:
+    """Lightweight namespace isolation for non-TEE services."""
+
+    owner: str
+    image: bytes  # pristine service code, used for reinstall
+    filesystem: dict[str, bytes] = field(default_factory=dict)
+    generation: int = 0
+    compromised: bool = False
+
+    def write_file(self, path: str, data: bytes) -> None:
+        self.filesystem[path] = data
+
+    def read_file(self, path: str) -> bytes:
+        return self.filesystem[path]
+
+    def reinstall(self) -> None:
+        """Wipe state and restart from the pristine image."""
+        self.filesystem.clear()
+        self.compromised = False
+        self.generation += 1
+
+
+class SecurityModule:
+    """Creates isolation compartments and runs the compromise-recovery loop."""
+
+    def __init__(self, platform_key: bytes = b"openvdap-platform-key"):
+        self._platform_key = platform_key
+        self._enclaves: dict[str, TEEEnclave] = {}
+        self._containers: dict[str, Container] = {}
+        self._images: dict[str, bytes] = {}
+        self.reinstalls: int = 0
+
+    def deploy(self, service: PolymorphicService, code: bytes):
+        """Give the service its compartment: TEE if required, else container."""
+        if service.name in self._enclaves or service.name in self._containers:
+            raise ValueError(f"service {service.name!r} already deployed")
+        self._images[service.name] = code
+        if service.requires_tee:
+            enclave = TEEEnclave(service.name, code, self._platform_key)
+            self._enclaves[service.name] = enclave
+            return enclave
+        container = Container(owner=service.name, image=code)
+        self._containers[service.name] = container
+        return container
+
+    def enclave(self, name: str) -> TEEEnclave:
+        return self._enclaves[name]
+
+    def container(self, name: str) -> Container:
+        return self._containers[name]
+
+    def report_compromise(self, service: PolymorphicService) -> None:
+        """Mark a service compromised (detected by the monitor)."""
+        service.state = ServiceState.COMPROMISED
+        container = self._containers.get(service.name)
+        if container is not None:
+            container.compromised = True
+
+    def monitor(self, services: list[PolymorphicService]) -> list[str]:
+        """Sweep services; remove-and-reinstall any compromised ones.
+
+        Returns the names of services that were recovered.
+        """
+        recovered = []
+        for service in services:
+            if service.state is not ServiceState.COMPROMISED:
+                continue
+            container = self._containers.get(service.name)
+            if container is not None:
+                container.reinstall()
+            else:
+                # TEE service: rebuild the enclave from the pristine image.
+                old = self._enclaves.pop(service.name, None)
+                if old is not None:
+                    self._enclaves[service.name] = TEEEnclave(
+                        service.name, self._images[service.name], self._platform_key
+                    )
+            service.state = ServiceState.RUNNING
+            service.reinstall_count += 1
+            self.reinstalls += 1
+            recovered.append(service.name)
+        return recovered

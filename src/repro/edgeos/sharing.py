@@ -1,0 +1,122 @@
+"""Data Sharing module: authenticated inter-service pub/sub with ACLs.
+
+Paper SIV-C: "the Data Sharing module provides a mechanism for data sharing
+between different services with a high security, which will authenticate
+the service and perform fine grain access control" -- e.g. both the
+pedestrian-detection service and the mobile A3 service read the camera
+topic, and A3 publishes its results to the vehicle-recorder service.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["AccessDenied", "SharedRecord", "DataSharingBus"]
+
+
+class AccessDenied(PermissionError):
+    """Raised on unauthenticated or unauthorized topic access."""
+
+
+@dataclass(frozen=True)
+class SharedRecord:
+    """One published datum."""
+
+    topic: str
+    publisher: str
+    payload: Any
+    sequence: int
+
+
+@dataclass
+class _TopicACL:
+    readers: set = field(default_factory=set)
+    writers: set = field(default_factory=set)
+
+
+class DataSharingBus:
+    """Topic-based sharing with per-service credentials and per-topic ACLs."""
+
+    def __init__(self):
+        self._tokens: dict[str, str] = {}
+        self._acls: dict[str, _TopicACL] = {}
+        self._log: list[SharedRecord] = []
+        self._subscribers: dict[str, list[tuple[str, Callable[[SharedRecord], None]]]] = {}
+        self._sequence = 0
+        self.audit: list[tuple[str, str, str, bool]] = []  # (service, op, topic, ok)
+
+    # -- identity ---------------------------------------------------------------
+
+    def register_service(self, name: str) -> str:
+        """Enroll a service; returns its secret credential token."""
+        if name in self._tokens:
+            raise ValueError(f"service {name!r} already registered")
+        token = secrets.token_hex(16)
+        self._tokens[name] = token
+        return token
+
+    def _authenticate(self, name: str, token: str) -> None:
+        if self._tokens.get(name) != token:
+            self.audit.append((name, "auth", "-", False))
+            raise AccessDenied(f"authentication failed for {name!r}")
+
+    # -- ACL management -------------------------------------------------------------
+
+    def create_topic(self, topic: str, readers: list[str], writers: list[str]) -> None:
+        if topic in self._acls:
+            raise ValueError(f"topic {topic!r} already exists")
+        self._acls[topic] = _TopicACL(readers=set(readers), writers=set(writers))
+        self._subscribers[topic] = []
+
+    def grant(self, topic: str, service: str, read: bool = False, write: bool = False) -> None:
+        acl = self._acls[topic]
+        if read:
+            acl.readers.add(service)
+        if write:
+            acl.writers.add(service)
+
+    def revoke(self, topic: str, service: str) -> None:
+        acl = self._acls[topic]
+        acl.readers.discard(service)
+        acl.writers.discard(service)
+
+    # -- data plane ------------------------------------------------------------------
+
+    def publish(self, service: str, token: str, topic: str, payload: Any) -> SharedRecord:
+        self._authenticate(service, token)
+        acl = self._acls.get(topic)
+        if acl is None or service not in acl.writers:
+            self.audit.append((service, "publish", topic, False))
+            raise AccessDenied(f"{service!r} may not publish to {topic!r}")
+        record = SharedRecord(
+            topic=topic, publisher=service, payload=payload, sequence=self._sequence
+        )
+        self._sequence += 1
+        self._log.append(record)
+        self.audit.append((service, "publish", topic, True))
+        for subscriber, callback in self._subscribers[topic]:
+            if subscriber in acl.readers:
+                callback(record)
+        return record
+
+    def read(self, service: str, token: str, topic: str, since: int = 0) -> list[SharedRecord]:
+        self._authenticate(service, token)
+        acl = self._acls.get(topic)
+        if acl is None or service not in acl.readers:
+            self.audit.append((service, "read", topic, False))
+            raise AccessDenied(f"{service!r} may not read {topic!r}")
+        self.audit.append((service, "read", topic, True))
+        return [r for r in self._log if r.topic == topic and r.sequence >= since]
+
+    def subscribe(
+        self, service: str, token: str, topic: str, callback: Callable[[SharedRecord], None]
+    ) -> None:
+        self._authenticate(service, token)
+        acl = self._acls.get(topic)
+        if acl is None or service not in acl.readers:
+            self.audit.append((service, "subscribe", topic, False))
+            raise AccessDenied(f"{service!r} may not subscribe to {topic!r}")
+        self._subscribers[topic].append((service, callback))
+        self.audit.append((service, "subscribe", topic, True))

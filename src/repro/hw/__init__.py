@@ -1,0 +1,16 @@
+"""Hardware substrate: processor, storage, and energy models."""
+
+from . import catalog
+from .energy import EnergyMeter, EVBattery
+from .processor import ProcessorKind, ProcessorModel, WorkloadClass
+from .storage import SSDModel
+
+__all__ = [
+    "EVBattery",
+    "EnergyMeter",
+    "ProcessorKind",
+    "ProcessorModel",
+    "SSDModel",
+    "WorkloadClass",
+    "catalog",
+]

@@ -1,0 +1,88 @@
+"""Energy accounting and EV battery model.
+
+The paper's SIII-B argument is that power-hungry local processors are
+impracticable for vehicles (especially EVs, where compute draw reduces
+mileage per discharge cycle).  These models quantify that argument so the
+offloading ablations can report energy alongside latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .processor import ProcessorModel
+
+__all__ = ["EnergyMeter", "EVBattery"]
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates busy/idle energy per device over a simulation run."""
+
+    _busy_joules: dict[str, float] = field(default_factory=dict)
+    _busy_seconds: dict[str, float] = field(default_factory=dict)
+
+    def record_busy(self, processor: ProcessorModel, seconds: float) -> float:
+        """Account ``seconds`` of busy time on ``processor``; returns joules."""
+        if seconds < 0:
+            raise ValueError("busy time must be non-negative")
+        joules = processor.energy(seconds)
+        self._busy_joules[processor.name] = (
+            self._busy_joules.get(processor.name, 0.0) + joules
+        )
+        self._busy_seconds[processor.name] = (
+            self._busy_seconds.get(processor.name, 0.0) + seconds
+        )
+        return joules
+
+    def busy_joules(self, name: str | None = None) -> float:
+        if name is not None:
+            return self._busy_joules.get(name, 0.0)
+        return sum(self._busy_joules.values())
+
+    def busy_seconds(self, name: str) -> float:
+        return self._busy_seconds.get(name, 0.0)
+
+    def idle_joules(self, processor: ProcessorModel, wall_seconds: float) -> float:
+        """Idle draw for the fraction of ``wall_seconds`` the device was free."""
+        busy = self._busy_seconds.get(processor.name, 0.0)
+        idle = max(0.0, wall_seconds - busy)
+        return processor.idle_watts * idle
+
+    def report(self) -> dict[str, float]:
+        """Busy joules per device name."""
+        return dict(self._busy_joules)
+
+
+@dataclass
+class EVBattery:
+    """Electric-vehicle battery: compute draw trades off against range.
+
+    ``drive_efficiency_wh_per_km`` is the traction cost; any compute energy
+    drawn shortens the remaining range accordingly.
+    """
+
+    capacity_kwh: float = 75.0
+    drive_efficiency_wh_per_km: float = 160.0
+    _drawn_wh: float = 0.0
+
+    def draw(self, joules: float) -> None:
+        if joules < 0:
+            raise ValueError("cannot draw negative energy")
+        wh = joules / 3600.0
+        if self._drawn_wh + wh > self.capacity_kwh * 1000.0:
+            raise ValueError("battery depleted")
+        self._drawn_wh += wh
+
+    @property
+    def remaining_kwh(self) -> float:
+        return self.capacity_kwh - self._drawn_wh / 1000.0
+
+    @property
+    def remaining_range_km(self) -> float:
+        """Range left if all remaining energy went to traction."""
+        return self.remaining_kwh * 1000.0 / self.drive_efficiency_wh_per_km
+
+    def range_cost_km(self, joules: float) -> float:
+        """Driving range given up by spending ``joules`` on compute."""
+        return (joules / 3600.0) / self.drive_efficiency_wh_per_km

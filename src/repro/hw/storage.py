@@ -1,0 +1,79 @@
+"""SSD storage model for the VCU (paper SIV-B1).
+
+The paper selects a parallelism-supported SSD for vehicle data; this model
+captures the latency behaviour that matters to the platform: per-request
+service time driven by queue depth, channel parallelism, and sequential vs
+random access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SSDModel"]
+
+
+@dataclass
+class SSDModel:
+    """First-order parallel-channel SSD latency/throughput model.
+
+    Parameters
+    ----------
+    channels:
+        Independent flash channels; requests spread across them.
+    read_mbps / write_mbps:
+        Per-channel sequential throughput in MB/s.
+    base_latency_s:
+        Fixed controller + flash access latency per request.
+    random_penalty:
+        Multiplier on effective throughput for non-sequential access.
+    capacity_gb:
+        Usable capacity; writes beyond it raise.
+    """
+
+    channels: int = 8
+    read_mbps: float = 400.0
+    write_mbps: float = 200.0
+    base_latency_s: float = 60e-6
+    random_penalty: float = 0.35
+    capacity_gb: float = 1024.0
+
+    def __post_init__(self):
+        if self.channels < 1:
+            raise ValueError("SSD needs at least one channel")
+        self._used_bytes = 0.0
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_gb * 1e9 - self._used_bytes
+
+    def _transfer_time(self, nbytes: float, per_channel_mbps: float, sequential: bool) -> float:
+        throughput = per_channel_mbps * 1e6 * self.channels
+        if not sequential:
+            throughput *= self.random_penalty
+        return self.base_latency_s + nbytes / throughput
+
+    def read_time(self, nbytes: float, sequential: bool = True) -> float:
+        """Seconds to read ``nbytes`` from flash."""
+        if nbytes < 0:
+            raise ValueError("read size must be non-negative")
+        return self._transfer_time(nbytes, self.read_mbps, sequential)
+
+    def write_time(self, nbytes: float, sequential: bool = True) -> float:
+        """Seconds to persist ``nbytes``; accounts the space as used."""
+        if nbytes < 0:
+            raise ValueError("write size must be non-negative")
+        if nbytes > self.free_bytes:
+            raise ValueError(
+                f"SSD full: write of {nbytes:.0f} B exceeds free {self.free_bytes:.0f} B"
+            )
+        self._used_bytes += nbytes
+        return self._transfer_time(nbytes, self.write_mbps, sequential)
+
+    def delete(self, nbytes: float) -> None:
+        """Release previously written space (TRIM)."""
+        self._used_bytes = max(0.0, self._used_bytes - nbytes)

@@ -1,0 +1,17 @@
+"""libvdap: the open edge-aware application library."""
+
+from .api import ApiError, LibVDAP
+from .models import CommonModelLibrary, CompressedVariant, ModelEntry
+from .pbeam import PBeamResult, build_pbeam, pbeam_size_report, train_cbeam
+
+__all__ = [
+    "ApiError",
+    "CommonModelLibrary",
+    "CompressedVariant",
+    "LibVDAP",
+    "ModelEntry",
+    "PBeamResult",
+    "build_pbeam",
+    "pbeam_size_report",
+    "train_cbeam",
+]

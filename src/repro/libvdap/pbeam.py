@@ -1,0 +1,109 @@
+"""pBEAM: the Personalized Driving Behavior Model pipeline (paper Fig. 9).
+
+The full loop, exactly as the paper draws it:
+
+1. **cloud**: train cBEAM on a large multi-driver corpus;
+2. **cloud**: Deep-Compress cBEAM (prune + weight sharing);
+3. **download**: the compressed cBEAM ships to the vehicle (size = what
+   actually crosses the cellular link);
+4. **edge**: transfer-learn on the local driver's data from the DDI to
+   obtain pBEAM;
+5. third-party apps query pBEAM (e.g. "is this driver aggressive?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.compress import CompressionReport, deep_compress, measure
+from ..nn.network import Sequential
+from ..nn.train import SGD, train_classifier
+from ..nn.transfer import transfer_learn
+from ..nn.zoo import make_mlp
+from ..workloads.driving import FEATURES, MANEUVERS, DriverProfile, driver_dataset
+
+__all__ = ["PBeamResult", "train_cbeam", "build_pbeam"]
+
+HIDDEN_LAYERS = (48, 24)
+
+
+@dataclass
+class PBeamResult:
+    """Everything the pipeline produced, with the numbers apps care about."""
+
+    model: Sequential
+    compression: CompressionReport
+    cbeam_accuracy_on_driver: float
+    pbeam_accuracy_on_driver: float
+    download_bytes: float
+
+    @property
+    def personalization_gain(self) -> float:
+        return self.pbeam_accuracy_on_driver - self.cbeam_accuracy_on_driver
+
+
+def train_cbeam(
+    fleet_x: np.ndarray,
+    fleet_y: np.ndarray,
+    epochs: int = 20,
+    seed: int = 0,
+) -> Sequential:
+    """Cloud-side: the Common Driving Behavior Model."""
+    model = make_mlp(len(FEATURES), HIDDEN_LAYERS, len(MANEUVERS), seed=seed)
+    train_classifier(
+        model, fleet_x, fleet_y, epochs=epochs, optimizer=SGD(lr=0.01),
+        rng=np.random.default_rng(seed),
+    )
+    return model
+
+
+def build_pbeam(
+    cbeam: Sequential,
+    driver: DriverProfile,
+    driver_windows: int = 300,
+    sparsity: float = 0.65,
+    bits: int = 5,
+    transfer_epochs: int = 25,
+    rng: np.random.Generator | None = None,
+) -> PBeamResult:
+    """Compress the common model and personalize it to one driver.
+
+    ``cbeam`` is mutated through compression and transfer (it becomes the
+    pBEAM); callers wanting to keep the original should pass a copy.
+    """
+    rng = rng or np.random.default_rng(0)
+
+    # Held-out personal data for the before/after comparison.
+    x_train, y_train = driver_dataset(driver, driver_windows, rng)
+    x_test, y_test = driver_dataset(driver, max(100, driver_windows // 3), rng)
+
+    common_accuracy = cbeam.accuracy(x_test, y_test)
+
+    # Cloud-side compression; fine-tuning data is the fleet-ish train split.
+    report = deep_compress(
+        cbeam, x_train, y_train, sparsity=sparsity, bits=bits,
+        finetune_epochs=0,  # compression happens before personal data exists
+        rng=rng,
+    )
+
+    # Edge-side personalization on DDI data.
+    transfer_learn(
+        cbeam, x_train, y_train, trainable_layers=1, epochs=transfer_epochs,
+        lr=0.02, rng=rng,
+    )
+    personal_accuracy = cbeam.accuracy(x_test, y_test)
+
+    return PBeamResult(
+        model=cbeam,
+        compression=report,
+        cbeam_accuracy_on_driver=common_accuracy,
+        pbeam_accuracy_on_driver=personal_accuracy,
+        download_bytes=report.compressed_bytes,
+    )
+
+
+def pbeam_size_report(model: Sequential, bits: int = 6) -> CompressionReport:
+    """Size accounting of an already-built pBEAM."""
+    return measure(model, bits=bits)

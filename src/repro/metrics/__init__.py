@@ -1,0 +1,5 @@
+"""Measurement helpers for experiments and benches."""
+
+from .stats import Summary, Timeline
+
+__all__ = ["Summary", "Timeline"]

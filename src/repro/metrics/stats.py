@@ -1,0 +1,90 @@
+"""Measurement helpers: summaries and time series for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Summary", "Timeline"]
+
+
+@dataclass
+class Summary:
+    """Streaming summary of a scalar metric (latencies, losses, ...)."""
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.samples)) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        return float(np.percentile(self.samples, q)) if self.samples else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def row(self) -> dict:
+        """A report row (what the benches print)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+@dataclass
+class Timeline:
+    """(time, value) series, e.g. pipeline choice or loss over a drive."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    def record(self, time_s: float, value) -> None:
+        if self.times and time_s < self.times[-1]:
+            raise ValueError("timeline must be recorded in time order")
+        self.times.append(float(time_s))
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time_s: float):
+        """Last value recorded at or before ``time_s``."""
+        if not self.times or time_s < self.times[0]:
+            return None
+        idx = int(np.searchsorted(self.times, time_s, side="right")) - 1
+        return self.values[idx]
+
+    def changes(self) -> int:
+        """Number of times the value switched."""
+        return sum(1 for a, b in zip(self.values, self.values[1:]) if a != b)

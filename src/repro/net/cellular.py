@@ -1,0 +1,136 @@
+"""Cellular (LTE) uplink as experienced by a moving vehicle.
+
+This is the substrate behind the paper's Figure 2 drive tests.  Four loss
+mechanisms are modelled, each of which the paper's SIII-A narrative calls
+out:
+
+1. **Handoff interruption** -- when the serving cell changes, the UE loses
+   service for an interval that grows sharply with speed (stale measurement
+   reports, failed target-cell sync, re-attach).  Everything sent during
+   the interruption is lost.
+2. **Grant ramp** -- after re-attach the scheduler ramps the uplink grant
+   back up; while the offered bitrate exceeds the instantaneous grant, the
+   excess fraction of packets is dropped.  Higher-resolution streams stay
+   above the grant longer.
+3. **Cell-edge degradation** -- achievable capacity falls towards the cell
+   edge; streams whose bitrate exceeds the local capacity lose the excess
+   fraction.  A static test at the cell centre never sees this.
+4. **Residual bursty loss** -- a Gilbert-Elliott channel whose stationary
+   rate includes a congestion term cubic in channel utilization.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .channel import GilbertElliott
+from .params import LTEParams
+
+__all__ = ["CellularUplink"]
+
+
+class CellularUplink:
+    """Stateful per-packet uplink simulator.
+
+    Call :meth:`send_packet` once per packet in time order; the object
+    tracks serving cell, handoff outages, and the loss channel.
+    """
+
+    def __init__(self, params: LTEParams, rng: np.random.Generator):
+        self.params = params
+        self.rng = rng
+        self._serving_cell: int | None = None
+        self._outage_until = -math.inf
+        self._ramp_start = -math.inf
+        self._channel = GilbertElliott(
+            rng, loss_rate=params.base_loss, burst_length=params.burst_base_packets
+        )
+        self.handoff_count = 0
+
+    # -- geometry ---------------------------------------------------------
+
+    def cell_of(self, position_m: float) -> int:
+        """Index of the nearest base station (cell boundaries at midpoints)."""
+        return int(math.floor(position_m / self.params.bs_spacing_m + 0.5))
+
+    def edge_fraction(self, position_m: float) -> float:
+        """Normalized distance to the serving cell centre, in [0, 1]."""
+        spacing = self.params.bs_spacing_m
+        centre = self.cell_of(position_m) * spacing
+        return min(1.0, abs(position_m - centre) / (spacing / 2.0))
+
+    def local_capacity_mbps(self, position_m: float) -> float:
+        """Uplink capacity at this position: degraded toward the cell edge."""
+        z = self.edge_fraction(position_m)
+        return self.params.uplink_capacity_mbps * (1.0 - 0.70 * z**6)
+
+    def handoff_interruption_s(self, speed_mps: float) -> float:
+        """Service-gap duration for a handoff at the given speed."""
+        return self.params.handoff_base_s * math.exp(
+            speed_mps / self.params.handoff_speed_scale_mps
+        )
+
+    # -- per-packet dynamics ------------------------------------------------
+
+    def _granted_mbps(self, time_s: float, position_m: float) -> float:
+        """Instantaneous grant: zero in outage, linear ramp after re-attach."""
+        if time_s < self._outage_until:
+            return 0.0
+        capacity = self.local_capacity_mbps(position_m)
+        elapsed = time_s - self._ramp_start
+        if elapsed < self.params.grant_ramp_s:
+            return capacity * elapsed / self.params.grant_ramp_s
+        return capacity
+
+    def send_packet(
+        self,
+        time_s: float,
+        position_m: float,
+        speed_mps: float,
+        offered_bitrate_mbps: float,
+    ) -> bool:
+        """Send one packet; returns True if it was DELIVERED.
+
+        ``offered_bitrate_mbps`` is the stream's current sending rate, used
+        for the grant/capacity comparison and the congestion loss term.
+        """
+        if offered_bitrate_mbps <= 0:
+            raise ValueError("offered bitrate must be positive")
+        cell = self.cell_of(position_m)
+        if self._serving_cell is None:
+            self._serving_cell = cell
+            self._ramp_start = time_s - self.params.grant_ramp_s  # pre-attached
+        elif cell != self._serving_cell:
+            self._serving_cell = cell
+            self.handoff_count += 1
+            gap = self.handoff_interruption_s(speed_mps)
+            self._outage_until = time_s + gap
+            self._ramp_start = self._outage_until
+
+        # Mechanism 1: total loss during the handoff interruption.
+        if time_s < self._outage_until:
+            return False
+
+        # Mechanisms 2+3: proportional drop of the excess over the grant.
+        granted = self._granted_mbps(time_s, position_m)
+        if granted < offered_bitrate_mbps:
+            drop_probability = 1.0 - granted / offered_bitrate_mbps
+            if self.rng.random() < drop_probability:
+                return False
+
+        # Mechanism 4: residual bursty loss -- congestion plus fast fading.
+        utilization = min(
+            1.0, offered_bitrate_mbps / self.params.uplink_capacity_mbps
+        )
+        stationary = min(
+            0.5,
+            self.params.base_loss
+            + self.params.congestion_loss_coeff * utilization**3
+            + self.params.fading_loss_coeff
+            * (speed_mps / self.params.fading_speed_ref_mps)
+            * utilization**2,
+        )
+        self._channel.retune(stationary, burst_length=self.params.burst_length(speed_mps))
+        return not self._channel.step()

@@ -1,0 +1,139 @@
+"""Generic link models and the Gilbert-Elliott burst-loss channel.
+
+Two building blocks used throughout the platform:
+
+* :class:`LinkModel` -- a first-order (rtt, bandwidth, loss) pipe used by the
+  offloading engine to cost data movement between vehicle, XEdge and cloud.
+* :class:`GilbertElliott` -- the classic two-state Markov loss channel; real
+  radio losses are bursty, and burstiness is what makes the paper's frame
+  loss (Figure 2) diverge from naive per-packet estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinkModel", "GilbertElliott", "gilbert_elliott_for"]
+
+
+@dataclass
+class LinkModel:
+    """A point-to-point pipe characterised by rtt, bandwidth and loss.
+
+    ``transfer_time`` includes the retransmission inflation for reliable
+    transports: with loss rate p, on average 1/(1-p) copies of each byte
+    cross the link.
+    """
+
+    name: str
+    bandwidth_mbps: float
+    rtt_s: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_mbps}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {self.loss_rate}")
+        if self.rtt_s < 0:
+            raise ValueError("rtt must be non-negative")
+
+    @property
+    def one_way_latency_s(self) -> float:
+        return self.rtt_s / 2.0
+
+    def transfer_time(self, nbytes: float, reliable: bool = True) -> float:
+        """Seconds to move ``nbytes`` across the link (one direction)."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if nbytes == 0:
+            return self.one_way_latency_s
+        inflation = 1.0 / (1.0 - self.loss_rate) if reliable else 1.0
+        serialization = nbytes * 8.0 * inflation / (self.bandwidth_mbps * 1e6)
+        return self.one_way_latency_s + serialization
+
+    def round_trip_time(self, request_bytes: float, response_bytes: float) -> float:
+        """Request/response exchange time."""
+        return self.transfer_time(request_bytes) + self.transfer_time(response_bytes)
+
+
+class GilbertElliott:
+    """Two-state Markov packet-loss channel (Good / Bad).
+
+    In the Good state packets are delivered (with a small residual loss);
+    in the Bad state they are dropped.  The stationary loss rate and the
+    mean burst length fully determine the transition probabilities:
+
+        mean bad dwell  = burst packets      ->  p(bad->good) = 1/burst
+        stationary bad  = target loss        ->  p(good->bad) solved from balance
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        loss_rate: float,
+        burst_length: float = 3.0,
+        residual_good_loss: float = 0.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if burst_length < 1.0:
+            raise ValueError(f"burst length must be >= 1, got {burst_length}")
+        self.rng = rng
+        self.loss_rate = loss_rate
+        self.burst_length = burst_length
+        self.residual_good_loss = residual_good_loss
+        self.p_bg = 1.0 / burst_length
+        self.p_gb = self._solve_p_gb(loss_rate)
+        self.bad = False
+
+    def _solve_p_gb(self, loss_rate: float) -> float:
+        """Good->bad probability for a target stationary loss.
+
+        Balance: pi_bad = p_gb / (p_gb + p_bg).  With mean bad dwell fixed,
+        the achievable stationary loss tops out at burst/(1+burst); requests
+        beyond it clamp there (p_gb = 1).
+        """
+        if loss_rate <= 0.0:
+            return 0.0
+        return min(1.0, loss_rate * self.p_bg / (1.0 - loss_rate))
+
+    @property
+    def achievable_loss_rate(self) -> float:
+        """The stationary loss the chain actually realizes (post-clamp)."""
+        if self.p_gb == 0.0:
+            return self.residual_good_loss
+        return self.p_gb / (self.p_gb + self.p_bg)
+
+    def step(self) -> bool:
+        """Advance one packet slot; returns True if that packet is LOST."""
+        if self.bad:
+            if self.rng.random() < self.p_bg:
+                self.bad = False
+        else:
+            if self.rng.random() < self.p_gb:
+                self.bad = True
+        if self.bad:
+            return True
+        return self.rng.random() < self.residual_good_loss
+
+    def retune(self, loss_rate: float, burst_length: float | None = None) -> None:
+        """Update stationary loss rate (and burst length) in place."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if burst_length is not None:
+            if burst_length < 1.0:
+                raise ValueError(f"burst length must be >= 1, got {burst_length}")
+            self.burst_length = burst_length
+            self.p_bg = 1.0 / burst_length
+        self.loss_rate = loss_rate
+        self.p_gb = self._solve_p_gb(loss_rate)
+
+
+def gilbert_elliott_for(
+    rng: np.random.Generator, loss_rate: float, burst_length: float = 3.0
+) -> GilbertElliott:
+    """Convenience constructor mirroring :class:`GilbertElliott`."""
+    return GilbertElliott(rng, loss_rate, burst_length)

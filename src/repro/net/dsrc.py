@@ -1,0 +1,134 @@
+"""DSRC beaconing and neighbour discovery (V2V substrate).
+
+DSRC is "a key communication part on CAVs" (paper SIII-C): vehicles
+broadcast periodic basic-safety-message beacons; receivers within radio
+range build a neighbour table, which is what the collaboration layer uses
+to decide who to share results with.  Beacons carry the sender's rotating
+pseudonym, never its raw identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Beacon", "Neighbor", "NeighborTable", "DsrcRadio", "DsrcMedium"]
+
+DEFAULT_RANGE_M = 300.0
+DEFAULT_BEACON_PERIOD_S = 0.1  # SAE J2735 BSM: 10 Hz
+NEIGHBOR_EXPIRY_S = 1.0
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """One basic-safety-message broadcast."""
+
+    pseudonym: str
+    time_s: float
+    position_m: float
+    speed_mps: float
+
+
+@dataclass
+class Neighbor:
+    """A peer currently in radio range."""
+
+    pseudonym: str
+    last_seen_s: float
+    position_m: float
+    speed_mps: float
+
+
+class NeighborTable:
+    """Pseudonym-keyed table with staleness expiry."""
+
+    def __init__(self, expiry_s: float = NEIGHBOR_EXPIRY_S):
+        if expiry_s <= 0:
+            raise ValueError("expiry must be positive")
+        self.expiry_s = expiry_s
+        self._neighbors: dict[str, Neighbor] = {}
+
+    def update(self, beacon: Beacon) -> None:
+        self._neighbors[beacon.pseudonym] = Neighbor(
+            pseudonym=beacon.pseudonym,
+            last_seen_s=beacon.time_s,
+            position_m=beacon.position_m,
+            speed_mps=beacon.speed_mps,
+        )
+
+    def neighbors(self, now_s: float) -> list[Neighbor]:
+        """Live neighbours; expired entries are dropped as a side effect."""
+        stale = [
+            key for key, n in self._neighbors.items()
+            if now_s - n.last_seen_s > self.expiry_s
+        ]
+        for key in stale:
+            del self._neighbors[key]
+        return sorted(self._neighbors.values(), key=lambda n: n.pseudonym)
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+
+@dataclass
+class DsrcRadio:
+    """One vehicle's radio: broadcasts beacons, maintains its table."""
+
+    vehicle_id: str
+    pseudonym_fn: object  # callable time_s -> pseudonym string
+    range_m: float = DEFAULT_RANGE_M
+    table: NeighborTable = field(default_factory=NeighborTable)
+    beacons_sent: int = 0
+    beacons_received: int = 0
+
+    def make_beacon(self, time_s: float, position_m: float, speed_mps: float) -> Beacon:
+        self.beacons_sent += 1
+        return Beacon(
+            pseudonym=self.pseudonym_fn(time_s),
+            time_s=time_s,
+            position_m=position_m,
+            speed_mps=speed_mps,
+        )
+
+    def hear(self, beacon: Beacon) -> None:
+        self.beacons_received += 1
+        self.table.update(beacon)
+
+
+class DsrcMedium:
+    """The shared channel: delivers each broadcast to every radio in range.
+
+    Registration pairs each radio with a position function (time -> m), so
+    range checks track the vehicles' motion.
+    """
+
+    def __init__(self, range_m: float = DEFAULT_RANGE_M):
+        if range_m <= 0:
+            raise ValueError("range must be positive")
+        self.range_m = range_m
+        self._radios: list[tuple[DsrcRadio, object]] = []
+
+    def join(self, radio: DsrcRadio, position_fn) -> None:
+        self._radios.append((radio, position_fn))
+
+    def broadcast(self, sender: DsrcRadio, time_s: float, speed_mps: float) -> Beacon:
+        """Sender beacons; all other in-range radios hear it."""
+        sender_pos = None
+        for radio, position_fn in self._radios:
+            if radio is sender:
+                sender_pos = position_fn(time_s)
+                break
+        if sender_pos is None:
+            raise ValueError("sender has not joined this medium")
+        beacon = sender.make_beacon(time_s, sender_pos, speed_mps)
+        for radio, position_fn in self._radios:
+            if radio is sender:
+                continue
+            if abs(position_fn(time_s) - sender_pos) <= self.range_m:
+                radio.hear(beacon)
+        return beacon
+
+    def beacon_round(self, time_s: float, speeds: dict[str, float] | None = None) -> None:
+        """Every radio broadcasts once (one 10 Hz slot)."""
+        speeds = speeds or {}
+        for radio, _position_fn in list(self._radios):
+            self.broadcast(radio, time_s, speeds.get(radio.vehicle_id, 0.0))

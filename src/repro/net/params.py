@@ -1,0 +1,79 @@
+"""Physical constants for the network substrate.
+
+Values are taken from public LTE / DSRC / 802.11 characterizations; they are
+the calibration knobs DESIGN.md SS4 describes.  Nothing here is a paper
+*result* -- these are channel parameters, and the benchmarks measure what
+the substrate does with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LTEParams", "DSRC_PARAMS", "WIFI_PARAMS", "BACKHAUL_PARAMS", "LinkPreset"]
+
+
+@dataclass(frozen=True)
+class LTEParams:
+    """Urban LTE macro/micro-cell uplink as seen by a moving vehicle.
+
+    * ``bs_spacing_m`` -- distance between consecutive base stations along
+      the road (urban micro deployments: 250-500 m).
+    * ``uplink_capacity_mbps`` -- per-UE sustained uplink grant.
+    * ``handoff_base_s`` / ``handoff_speed_scale`` -- the service
+      interruption at a cell change grows sharply with speed: measurement
+      reports get stale, target-cell sync fails and the UE must re-attach.
+      We model interruption = base * exp(speed / scale), which reproduces
+      the near-flat loss at walking speeds and the cliff at highway speed
+      the paper measured.
+    * ``grant_ramp_s`` -- after re-attach, the scheduler ramps the uplink
+      grant from zero back to capacity; higher-bitrate streams stay above
+      the instantaneous grant for longer and thus lose more.
+    * ``base_loss`` / ``congestion_loss_coeff`` -- residual random loss and
+      a cubic congestion term in channel utilization.
+    * ``fading_loss_coeff`` -- extra loss from fast fading, growing with
+      speed (Doppler) and with utilization (less link margin).
+    * ``burst_base_packets`` / ``burst_speed_scale_mps`` -- mean loss-burst
+      length of the Gilbert-Elliott channel.  A parked UE sees long, deep
+      fades (highly correlated losses); at speed the channel coherence time
+      falls below the packet interval and losses decorrelate, so the burst
+      length shrinks as ``base / (1 + v / scale)``.
+    """
+
+    bs_spacing_m: float = 450.0
+    uplink_capacity_mbps: float = 10.0
+    handoff_base_s: float = 0.048
+    handoff_speed_scale_mps: float = 6.3
+    grant_ramp_s: float = 1.0
+    base_loss: float = 0.0005
+    congestion_loss_coeff: float = 0.025
+    fading_loss_coeff: float = 0.05
+    fading_speed_ref_mps: float = 30.0
+    burst_base_packets: float = 18.0
+    burst_speed_scale_mps: float = 2.0
+
+    def burst_length(self, speed_mps: float) -> float:
+        """Mean loss-burst length at a given speed (>= 1 packet)."""
+        return max(1.0, self.burst_base_packets / (1.0 + speed_mps / self.burst_speed_scale_mps))
+
+
+@dataclass(frozen=True)
+class LinkPreset:
+    """Static link characteristics for the offloading cost model."""
+
+    name: str
+    bandwidth_mbps: float
+    rtt_s: float
+    loss_rate: float
+
+
+#: Vehicle <-> RSU/XEdge over DSRC (one hop, high bandwidth, tiny RTT).
+DSRC_PARAMS = LinkPreset(name="dsrc", bandwidth_mbps=27.0, rtt_s=0.004, loss_rate=0.01)
+
+#: Vehicle <-> passenger devices / parked peers over Wi-Fi.
+WIFI_PARAMS = LinkPreset(name="wifi", bandwidth_mbps=80.0, rtt_s=0.003, loss_rate=0.005)
+
+#: RSU/base station <-> cloud over wired Ethernet / optical fiber.
+BACKHAUL_PARAMS = LinkPreset(
+    name="backhaul", bandwidth_mbps=1000.0, rtt_s=0.040, loss_rate=0.0001
+)

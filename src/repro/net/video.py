@@ -1,0 +1,139 @@
+"""H.264 video stream model: GOP structure, frame sizes, loss accounting.
+
+The paper's Figure 2 streams two 5-minute videos (720P at ~3.8 Mbps and
+1080P at ~5.8 Mbps), H.264, 30 fps, one key frame every two seconds, over
+UDP/RTP without retransmission.  Its frame-loss *counting policy* is the
+interesting part: a frame counts as lost if the key frame opening its GOP
+was lost, even when the frame's own packets arrived.  This module
+reproduces the stream structure and that policy exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VideoProfile", "VIDEO_720P", "VIDEO_1080P", "Frame", "VideoStream", "FrameLossAccounting"]
+
+#: Ratio of I-frame size to P-frame size in the encoded stream.
+I_TO_P_SIZE_RATIO = 8.0
+
+
+@dataclass(frozen=True)
+class VideoProfile:
+    """Encoding parameters of one test stream."""
+
+    name: str
+    width: int
+    height: int
+    bitrate_mbps: float
+    fps: float = 30.0
+    gop_seconds: float = 2.0
+
+    @property
+    def gop_frames(self) -> int:
+        return int(round(self.fps * self.gop_seconds))
+
+    @property
+    def p_frame_bytes(self) -> float:
+        """Average non-key frame size from the bitrate budget."""
+        gop_bytes = self.bitrate_mbps * 1e6 / 8.0 * self.gop_seconds
+        # One I frame (ratio x) + (n-1) P frames share the GOP budget.
+        units = I_TO_P_SIZE_RATIO + (self.gop_frames - 1)
+        return gop_bytes / units
+
+    @property
+    def i_frame_bytes(self) -> float:
+        return self.p_frame_bytes * I_TO_P_SIZE_RATIO
+
+
+#: The two streams of Figure 2 ("the bandwidth of transmitting a live 1080P
+#: video is around 5.8 Mbps, while the lower bound is 3.8 Mbps for 720P").
+VIDEO_720P = VideoProfile(name="720P", width=1280, height=720, bitrate_mbps=3.8)
+VIDEO_1080P = VideoProfile(name="1080P", width=1920, height=1080, bitrate_mbps=5.8)
+
+
+@dataclass
+class Frame:
+    """One encoded frame: index, timing, size and GOP role."""
+
+    index: int
+    timestamp_s: float
+    nbytes: float
+    is_key: bool
+    gop_index: int
+
+
+class VideoStream:
+    """Generator of the frame sequence for a profile."""
+
+    def __init__(self, profile: VideoProfile, duration_s: float):
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.profile = profile
+        self.duration_s = duration_s
+
+    @property
+    def frame_count(self) -> int:
+        return int(self.duration_s * self.profile.fps)
+
+    def frames(self):
+        """Yield :class:`Frame` objects in presentation order."""
+        profile = self.profile
+        interval = 1.0 / profile.fps
+        for index in range(self.frame_count):
+            gop_index, position = divmod(index, profile.gop_frames)
+            is_key = position == 0
+            yield Frame(
+                index=index,
+                timestamp_s=index * interval,
+                nbytes=profile.i_frame_bytes if is_key else profile.p_frame_bytes,
+                is_key=is_key,
+                gop_index=gop_index,
+            )
+
+
+@dataclass
+class FrameLossAccounting:
+    """Implements the paper's two loss metrics.
+
+    * *Packet loss rate*: lost packets / sent packets.
+    * *Frame loss rate*: a frame is lost if (a) any of its own packets was
+      lost, or (b) the key frame of its GOP was lost ("if the first key
+      frame is lost, all its successive frames will be viewed as lost even
+      if they might be successfully delivered").
+    """
+
+    packets_sent: int = 0
+    packets_lost: int = 0
+    _frames_total: int = 0
+    _frames_direct_lost: set = field(default_factory=set)
+    _gop_key_lost: set = field(default_factory=set)
+    _frame_gop: dict = field(default_factory=dict)
+
+    def record_frame(self, frame: Frame, packet_results: list[bool]) -> None:
+        """Account one transmitted frame; packet_results[i] True = delivered."""
+        self.packets_sent += len(packet_results)
+        lost = sum(1 for delivered in packet_results if not delivered)
+        self.packets_lost += lost
+        self._frames_total += 1
+        self._frame_gop[frame.index] = frame.gop_index
+        if lost > 0:
+            self._frames_direct_lost.add(frame.index)
+            if frame.is_key:
+                self._gop_key_lost.add(frame.gop_index)
+
+    @property
+    def packet_loss_rate(self) -> float:
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_lost / self.packets_sent
+
+    @property
+    def frame_loss_rate(self) -> float:
+        if self._frames_total == 0:
+            return 0.0
+        lost = 0
+        for frame_index, gop_index in self._frame_gop.items():
+            if frame_index in self._frames_direct_lost or gop_index in self._gop_key_lost:
+                lost += 1
+        return lost / self._frames_total

@@ -1,0 +1,182 @@
+"""Deep Compression: magnitude pruning + trained quantization (weight sharing).
+
+Reproduces the compression pipeline libvdap relies on (paper SIV-E, citing
+Han et al.): "cBEAM is pruned first to reduce the number of connections by
+learning only the important connections, then the number of bits for
+representing each weight is reduced via the weight sharing technique."
+
+The pipeline:
+
+1. :func:`prune` -- zero the smallest-magnitude fraction of each weight
+   matrix and return masks that keep them zero during fine-tuning.
+2. :func:`quantize` -- k-means cluster the surviving weights per layer into
+   ``2**bits`` shared values.
+3. :func:`deep_compress` -- prune, fine-tune under masks, quantize, report.
+
+Compressed size is accounted like the paper's storage format: per nonzero
+weight, a ``bits``-bit codebook index plus a 4-bit sparse offset, plus the
+fp32 codebook itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import Sequential
+from .train import SGD, train_classifier
+
+__all__ = ["CompressionReport", "prune", "quantize", "deep_compress", "kmeans_1d"]
+
+SPARSE_INDEX_BITS = 4  # relative-offset encoding of nonzero positions
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Before/after accounting for one compression run."""
+
+    original_bytes: float
+    compressed_bytes: float
+    sparsity: float
+    quantization_bits: int
+    nonzero_weights: int
+    total_weights: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.original_bytes / self.compressed_bytes
+
+
+def _weight_arrays(network: Sequential) -> list[np.ndarray]:
+    """The prunable arrays: weight matrices/tensors, not biases."""
+    return [arr for _, name, arr in network.parameters() if name == "W"]
+
+
+def prune(network: Sequential, sparsity: float) -> dict[int, np.ndarray]:
+    """Zero the smallest ``sparsity`` fraction of each weight array in place.
+
+    Returns masks keyed by ``id(array)`` suitable for
+    :meth:`repro.nn.train.SGD.step`.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    masks: dict[int, np.ndarray] = {}
+    for weights in _weight_arrays(network):
+        k = int(sparsity * weights.size)
+        mask = np.ones(weights.shape)
+        if k > 0:
+            flat = np.abs(weights).ravel()
+            threshold = np.partition(flat, k - 1)[k - 1]
+            mask = (np.abs(weights) > threshold).astype(float)
+        weights *= mask
+        masks[id(weights)] = mask
+    return masks
+
+
+def kmeans_1d(values: np.ndarray, k: int, iterations: int = 25) -> tuple[np.ndarray, np.ndarray]:
+    """Simple 1-D k-means: linear-initialized centroids over the value range.
+
+    Returns (centroids, assignment) where assignment[i] indexes centroids.
+    """
+    if k < 1:
+        raise ValueError("need at least one cluster")
+    if values.size == 0:
+        return np.zeros(0), np.zeros(0, dtype=int)
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi or k == 1:
+        return np.array([values.mean()]), np.zeros(values.size, dtype=int)
+    centroids = np.linspace(lo, hi, k)
+    assignment = np.zeros(values.size, dtype=int)
+    for _ in range(iterations):
+        assignment = np.abs(values[:, None] - centroids[None, :]).argmin(axis=1)
+        for j in range(k):
+            members = values[assignment == j]
+            if members.size:
+                centroids[j] = members.mean()
+    return centroids, assignment
+
+
+def quantize(network: Sequential, bits: int) -> list[np.ndarray]:
+    """Weight sharing: snap each layer's nonzero weights to 2**bits values.
+
+    Mutates the network in place; returns the per-layer codebooks.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError(f"quantization bits must be in [1, 16], got {bits}")
+    codebooks = []
+    for weights in _weight_arrays(network):
+        nonzero = weights[weights != 0.0]
+        if nonzero.size == 0:
+            codebooks.append(np.zeros(0))
+            continue
+        centroids, assignment = kmeans_1d(nonzero, 2**bits)
+        quantized = centroids[assignment]
+        out = weights.copy()
+        out[weights != 0.0] = quantized
+        weights[...] = out
+        codebooks.append(centroids)
+    return codebooks
+
+
+def measure(network: Sequential, bits: int = 32) -> CompressionReport:
+    """Size accounting for the network's current (possibly pruned) state."""
+    total = 0
+    nonzero = 0
+    codebook_bytes = 0.0
+    for weights in _weight_arrays(network):
+        total += weights.size
+        nz = int(np.count_nonzero(weights))
+        nonzero += nz
+        if bits < 32:
+            codebook_bytes += (2**bits) * 4.0
+    bias_count = sum(
+        arr.size for _, name, arr in network.parameters() if name != "W"
+    )
+    original = (total + bias_count) * 4.0
+    if bits >= 32:
+        compressed = nonzero * (32 + SPARSE_INDEX_BITS) / 8.0 + bias_count * 4.0
+    else:
+        compressed = (
+            nonzero * (bits + SPARSE_INDEX_BITS) / 8.0
+            + codebook_bytes
+            + bias_count * 4.0
+        )
+    sparsity = 1.0 - nonzero / total if total else 0.0
+    return CompressionReport(
+        original_bytes=original,
+        compressed_bytes=compressed,
+        sparsity=sparsity,
+        quantization_bits=bits,
+        nonzero_weights=nonzero,
+        total_weights=total,
+    )
+
+
+def deep_compress(
+    network: Sequential,
+    x: np.ndarray,
+    labels: np.ndarray,
+    sparsity: float = 0.8,
+    bits: int = 5,
+    finetune_epochs: int = 5,
+    lr: float = 0.01,
+    rng: np.random.Generator | None = None,
+) -> CompressionReport:
+    """Full Deep-Compression pipeline: prune -> fine-tune -> quantize.
+
+    Mutates ``network`` in place and returns the size report.
+    """
+    masks = prune(network, sparsity)
+    if finetune_epochs > 0:
+        train_classifier(
+            network,
+            x,
+            labels,
+            epochs=finetune_epochs,
+            optimizer=SGD(lr=lr),
+            rng=rng or np.random.default_rng(0),
+            masks=masks,
+        )
+    quantize(network, bits)
+    return measure(network, bits)

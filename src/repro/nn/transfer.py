@@ -1,0 +1,78 @@
+"""Transfer learning: turn a common model (cBEAM) into a personal one (pBEAM).
+
+The paper (SIV-E, Figure 9): a Common Driving Behavior Model is trained on
+many drivers in the cloud, compressed, downloaded to the vehicle, and then
+*transfer-learned* on the local driver's data from the DDI to obtain the
+Personalized Driving Behavior Model.
+
+The mechanism here is the standard freeze-and-fine-tune: early (feature)
+layers keep the common weights and are frozen; the head is fine-tuned on
+the personal data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Dense
+from .network import Sequential
+from .train import SGD, TrainResult, train_classifier
+
+__all__ = ["transfer_learn", "freeze_masks"]
+
+
+def freeze_masks(network: Sequential, trainable_layers: int) -> set[int]:
+    """Parameter ids of all but the last N parameterized layers.
+
+    The returned set plugs into ``SGD.step(frozen=...)``: frozen parameters
+    receive no updates, so the shared feature extractor stays bit-identical
+    to the common model.
+    """
+    parameterized = [layer for layer in network.layers if layer.params]
+    if trainable_layers < 1 or trainable_layers > len(parameterized):
+        raise ValueError(
+            f"trainable_layers must be in [1, {len(parameterized)}], got {trainable_layers}"
+        )
+    frozen_ids: set[int] = set()
+    for layer in parameterized[:-trainable_layers]:
+        for _name, param in layer.params.items():
+            frozen_ids.add(id(param))
+    return frozen_ids
+
+
+def transfer_learn(
+    network: Sequential,
+    x: np.ndarray,
+    labels: np.ndarray,
+    trainable_layers: int = 1,
+    epochs: int = 10,
+    lr: float = 0.01,
+    reinit_head: bool = True,
+    rng: np.random.Generator | None = None,
+) -> TrainResult:
+    """Fine-tune the last ``trainable_layers`` parameterized layers in place.
+
+    Frozen layers receive no optimizer updates, which keeps the shared
+    feature extractor bit-identical to the common model -- the property that
+    makes the download of one compressed cBEAM reusable across drivers.
+    """
+    rng = rng or np.random.default_rng(0)
+    frozen_ids = freeze_masks(network, trainable_layers)
+
+    if reinit_head:
+        parameterized = [layer for layer in network.layers if layer.params]
+        for layer in parameterized[-trainable_layers:]:
+            if isinstance(layer, Dense):
+                scale = np.sqrt(2.0 / layer.W.shape[0])
+                layer.W[...] = rng.normal(0.0, scale, size=layer.W.shape)
+                layer.b[...] = 0.0
+
+    return train_classifier(
+        network,
+        x,
+        labels,
+        epochs=epochs,
+        optimizer=SGD(lr=lr),
+        rng=rng,
+        frozen=frozen_ids,
+    )

@@ -1,0 +1,141 @@
+"""Model zoo: FLOP/size specs of reference models and runnable small nets.
+
+Two kinds of entries:
+
+* :class:`ModelSpec` -- published FLOP and parameter counts for the large
+  models the paper benchmarks (Inception v3 for Figure 3) or mentions as
+  libvdap's common-model library.  These drive the processor cost models;
+  they are obviously not executed in numpy.
+* Factory functions (``make_mlp``, ``make_tiny_cnn``) -- small *runnable*
+  networks used by pBEAM, the compression pipeline and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hw.processor import WorkloadClass
+from .layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from .network import Sequential
+
+__all__ = [
+    "ModelSpec",
+    "INCEPTION_V3",
+    "MOBILENET_V1",
+    "YOLO_V2",
+    "RESNET50",
+    "TINY_FACE",
+    "SPEC_REGISTRY",
+    "make_mlp",
+    "make_tiny_cnn",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Published cost figures of a reference model."""
+
+    name: str
+    task: str
+    forward_gflops: float  # multiply-add counted as 2 FLOPs
+    params_millions: float
+    input_shape: tuple[int, int, int]
+    workload: WorkloadClass = WorkloadClass.DNN
+
+    @property
+    def size_bytes(self) -> float:
+        return self.params_millions * 1e6 * 4.0
+
+    def inference_time_s(self, processor) -> float:
+        """Per-image latency on a :class:`repro.hw.ProcessorModel`."""
+        return processor.execution_time(self.forward_gflops, self.workload)
+
+
+#: Inception v3: ~5.7 GMACs = 11.4 GFLOPs forward, 23.9 M params (Szegedy'16).
+INCEPTION_V3 = ModelSpec(
+    name="inception_v3",
+    task="image classification (1000 classes)",
+    forward_gflops=11.4,
+    params_millions=23.9,
+    input_shape=(3, 299, 299),
+)
+
+MOBILENET_V1 = ModelSpec(
+    name="mobilenet_v1",
+    task="image classification (compressed-friendly)",
+    forward_gflops=1.14,
+    params_millions=4.2,
+    input_shape=(3, 224, 224),
+)
+
+YOLO_V2 = ModelSpec(
+    name="yolo_v2",
+    task="object detection",
+    forward_gflops=34.9,
+    params_millions=50.7,
+    input_shape=(3, 416, 416),
+)
+
+RESNET50 = ModelSpec(
+    name="resnet50",
+    task="image classification",
+    forward_gflops=7.7,
+    params_millions=25.6,
+    input_shape=(3, 224, 224),
+)
+
+TINY_FACE = ModelSpec(
+    name="tiny_face",
+    task="face/audio keyword processing",
+    forward_gflops=0.2,
+    params_millions=1.0,
+    input_shape=(3, 96, 96),
+)
+
+SPEC_REGISTRY: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (INCEPTION_V3, MOBILENET_V1, YOLO_V2, RESNET50, TINY_FACE)
+}
+
+
+def make_mlp(
+    in_features: int,
+    hidden: tuple[int, ...],
+    classes: int,
+    seed: int = 0,
+) -> Sequential:
+    """A ReLU MLP classifier; the architecture behind cBEAM/pBEAM."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    width = in_features
+    for h in hidden:
+        layers.append(Dense(width, h, rng=rng))
+        layers.append(ReLU())
+        width = h
+    layers.append(Dense(width, classes, rng=rng))
+    return Sequential(layers, input_shape=(in_features,))
+
+
+def make_tiny_cnn(
+    input_shape: tuple[int, int, int] = (1, 16, 16),
+    classes: int = 2,
+    channels: int = 8,
+    seed: int = 0,
+) -> Sequential:
+    """A small conv net (runnable in numpy) for the vision detector tests."""
+    rng = np.random.default_rng(seed)
+    c, h, w = input_shape
+    layers = [
+        Conv2D(c, channels, kernel=3, pad=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(channels, channels * 2, kernel=3, pad=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+    ]
+    flat = channels * 2 * (h // 4) * (w // 4)
+    layers.append(Dense(flat, classes, rng=rng))
+    return Sequential(layers, input_shape=input_shape)

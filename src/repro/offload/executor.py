@@ -1,0 +1,166 @@
+"""Distributed execution of placed task graphs, in simulation time.
+
+The placement evaluator (`repro.offload.placement`) is analytic: it prices
+a placement assuming uncontended processors and links.  This module
+*executes* the placement on the simulation kernel: every node's processors
+and every inter-tier link are capacity-1 resources, tasks wait for their
+inputs to arrive, transfers serialize on links, and concurrent jobs
+contend -- which is how the platform discovers that a plan that looked
+fine in isolation misses its deadline under load.
+
+For a single job on an idle system the simulated latency equals the
+analytic evaluation exactly (`tests/integration/test_executor.py` pins
+this), which is the cross-validation DESIGN.md promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.core import Simulator
+from ..sim.resources import Resource
+from ..topology.nodes import Tier
+from ..topology.world import World
+from .placement import Placement
+from .task import TaskGraph
+
+__all__ = ["ExecutionResult", "DistributedExecutor"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one executed job."""
+
+    graph_name: str
+    submitted_at: float
+    finished_at: float
+    task_finish: dict[str, float] = field(default_factory=dict)
+    transfer_seconds: float = 0.0
+
+    @property
+    def latency_s(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+class DistributedExecutor:
+    """Executes placements across the world's tiers on a shared simulator."""
+
+    def __init__(self, sim: Simulator, world: World):
+        self.sim = sim
+        self.world = world
+        # One execution slot per processor; keyed (tier, processor name).
+        self._processors: dict[tuple[str, str], Resource] = {}
+        # One half-duplex channel per tier pair.
+        self._links: dict[frozenset, Resource] = {}
+        self.completed: list[ExecutionResult] = []
+
+    def _processor_slot(self, tier: str, name: str) -> Resource:
+        key = (tier, name)
+        if key not in self._processors:
+            self._processors[key] = Resource(self.sim, capacity=1)
+        return self._processors[key]
+
+    def _link_slot(self, a: str, b: str) -> Resource:
+        key = frozenset((a, b))
+        if key not in self._links:
+            self._links[key] = Resource(self.sim, capacity=1)
+        return self._links[key]
+
+    # -- transfers -----------------------------------------------------------
+
+    def _transfer(self, src: str, dst: str, nbytes: float, result: ExecutionResult):
+        """Process: move bytes across the inter-tier link (serialized)."""
+        if src == dst:
+            return
+            yield  # pragma: no cover - generator marker
+        link = self.world.links.between(src, dst)
+        duration = link.transfer_time(nbytes)
+        slot = self._link_slot(src, dst)
+        grant = slot.request()
+        yield grant
+        try:
+            yield self.sim.timeout(duration)
+            result.transfer_seconds += duration
+        finally:
+            slot.release(grant)
+
+    # -- task execution ----------------------------------------------------------
+
+    def _run_task(self, graph, name, placement, done, result, priority):
+        task = graph.task(name)
+        tier = placement.tier_of(name)
+        node = self.world.node_for_tier(tier)
+        processor = node.best_processor_for(task.workload)
+        if processor is None:
+            done[name].fail(
+                RuntimeError(f"{tier} has no processor for {task.workload.value}")
+            )
+            return
+
+        # Wait for inputs: source data from the vehicle, plus predecessors.
+        waits = []
+        if task.source_bytes:
+            waits.append(
+                self.sim.process(
+                    self._transfer(Tier.VEHICLE, tier, task.source_bytes, result)
+                )
+            )
+        for pred in graph.predecessors(name):
+            pred_done = done[pred]
+            waits.append(
+                self.sim.process(
+                    self._after_pred(pred_done, graph.task(pred), placement.tier_of(pred),
+                                     tier, result)
+                )
+            )
+        if waits:
+            yield self.sim.all_of(waits)
+
+        slot = self._processor_slot(tier, processor.name)
+        grant = slot.request(priority=priority)
+        yield grant
+        try:
+            yield self.sim.timeout(processor.execution_time(task.work_gops, task.workload))
+        finally:
+            slot.release(grant)
+        result.task_finish[name] = self.sim.now
+        done[name].succeed(name)
+
+    def _after_pred(self, pred_done, pred_task, pred_tier, tier, result):
+        """Process: wait for a predecessor, then ship its output here."""
+        yield pred_done
+        transfer = self._transfer(pred_tier, tier, pred_task.output_bytes, result)
+        yield self.sim.process(transfer)
+
+    def _run_job(self, graph, placement, priority):
+        result = ExecutionResult(
+            graph_name=graph.name, submitted_at=self.sim.now, finished_at=self.sim.now
+        )
+        done = {name: self.sim.event() for name in graph.task_names}
+        for name in graph.task_names:
+            self.sim.process(
+                self._run_task(graph, name, placement, done, result, priority)
+            )
+        yield self.sim.all_of(list(done.values()))
+        # Results return to the vehicle.
+        returns = []
+        for sink in graph.sinks:
+            sink_tier = placement.tier_of(sink)
+            returns.append(
+                self.sim.process(
+                    self._transfer(sink_tier, Tier.VEHICLE,
+                                   graph.task(sink).output_bytes, result)
+                )
+            )
+        if returns:
+            yield self.sim.all_of(returns)
+        result.finished_at = self.sim.now
+        self.completed.append(result)
+        return result
+
+    def submit(self, graph: TaskGraph, placement: Placement, priority: int = 0):
+        """Execute a placed graph; returns a Process yielding ExecutionResult."""
+        placement.validate(graph)
+        return self.sim.process(
+            self._run_job(graph, placement, priority), name=f"exec:{graph.name}"
+        )

@@ -1,0 +1,125 @@
+"""Placement plans and their end-to-end cost evaluation.
+
+A placement maps each task of a graph to a tier (vehicle / edge / cloud).
+Evaluation computes, against a :class:`repro.topology.World`:
+
+* **end-to-end latency** -- critical path through the DAG, where node cost
+  is execution time on the tier's best-fit processor and edge cost is the
+  transfer time of the producer's output across the inter-tier link
+  (source data starts on the vehicle; final results must return to it);
+* **uplink bytes** -- everything leaving the vehicle (the "limited
+  bandwidth consumption" the paper's strategy minimizes);
+* **vehicle energy** -- joules burned by on-board processors (the SIII-B
+  power argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.energy import EnergyMeter
+from ..topology.nodes import Tier
+from ..topology.world import World
+from .task import TaskGraph
+
+__all__ = ["Placement", "PlacementEvaluation", "evaluate_placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An assignment of every task in a graph to a tier."""
+
+    assignment: dict[str, str]
+
+    def tier_of(self, task_name: str) -> str:
+        return self.assignment[task_name]
+
+    @classmethod
+    def uniform(cls, graph: TaskGraph, tier: str) -> "Placement":
+        return cls({name: tier for name in graph.task_names})
+
+    def validate(self, graph: TaskGraph) -> None:
+        missing = set(graph.task_names) - set(self.assignment)
+        if missing:
+            raise ValueError(f"placement missing tasks: {sorted(missing)}")
+        bad = {t for t in self.assignment.values() if t not in Tier.ALL}
+        if bad:
+            raise ValueError(f"unknown tiers in placement: {sorted(bad)}")
+
+
+@dataclass(frozen=True)
+class PlacementEvaluation:
+    """Cost vector of one placement."""
+
+    latency_s: float
+    uplink_bytes: float
+    vehicle_energy_j: float
+    feasible: bool
+    infeasible_reason: str = ""
+
+
+def _transfer_time(world: World, src_tier: str, dst_tier: str, nbytes: float) -> float:
+    if src_tier == dst_tier or nbytes == 0.0:
+        return 0.0 if src_tier == dst_tier else world.links.between(src_tier, dst_tier).one_way_latency_s
+    return world.links.between(src_tier, dst_tier).transfer_time(nbytes)
+
+
+def evaluate_placement(
+    graph: TaskGraph, placement: Placement, world: World
+) -> PlacementEvaluation:
+    """Critical-path latency plus bandwidth/energy accounting."""
+    placement.validate(graph)
+    meter = EnergyMeter()
+    finish: dict[str, float] = {}
+    uplink_bytes = 0.0
+
+    for name in graph.task_names:
+        task = graph.task(name)
+        tier = placement.tier_of(name)
+        node = world.node_for_tier(tier)
+        processor = node.best_processor_for(task.workload)
+        if processor is None:
+            return PlacementEvaluation(
+                latency_s=float("inf"),
+                uplink_bytes=0.0,
+                vehicle_energy_j=0.0,
+                feasible=False,
+                infeasible_reason=f"{tier} has no processor for {task.workload.value}",
+            )
+
+        ready = 0.0
+        # Source data originates on the vehicle.
+        if task.source_bytes:
+            ready = _transfer_time(world, Tier.VEHICLE, tier, task.source_bytes)
+            if tier != Tier.VEHICLE:
+                uplink_bytes += task.source_bytes
+        for pred in graph.predecessors(name):
+            pred_task = graph.task(pred)
+            pred_tier = placement.tier_of(pred)
+            arrival = finish[pred] + _transfer_time(
+                world, pred_tier, tier, pred_task.output_bytes
+            )
+            ready = max(ready, arrival)
+            if pred_tier == Tier.VEHICLE and tier != Tier.VEHICLE:
+                uplink_bytes += pred_task.output_bytes
+
+        exec_time = processor.execution_time(task.work_gops, task.workload)
+        finish[name] = ready + exec_time
+        if tier == Tier.VEHICLE:
+            meter.record_busy(processor, exec_time)
+
+    # Results must come back to the vehicle.
+    latency = 0.0
+    for sink in graph.sinks:
+        sink_tier = placement.tier_of(sink)
+        back = _transfer_time(
+            world, sink_tier, Tier.VEHICLE, graph.task(sink).output_bytes
+        )
+        latency = max(latency, finish[sink] + back)
+
+    return PlacementEvaluation(
+        latency_s=latency,
+        uplink_bytes=uplink_bytes,
+        vehicle_energy_j=meter.busy_joules(),
+        feasible=True,
+    )

@@ -1,0 +1,214 @@
+"""Offloading strategies: the paper's dynamic scheduler and its baselines.
+
+The paper (SI, SIV): "a dynamic offloading and scheduling algorithm ... to
+detect each service's status, computation overhead, and the optimal
+offloading destination so that each service could be completed at the
+right time with limited bandwidth consumption."
+
+Strategies:
+
+* :class:`LocalOnly` / :class:`CloudOnly` / :class:`EdgeOnly` -- the three
+  computing architectures SIII contrasts.
+* :class:`Greedy` -- earliest-finish-time list scheduling over tiers.
+* :class:`Exhaustive` -- optimal for small DAGs (tiers ** tasks search).
+* :class:`DynamicVDAP` -- the paper's strategy: among placements meeting
+  the service deadline, pick the one with the least uplink bandwidth,
+  breaking ties on vehicle energy; if none meets the deadline, fall back
+  to the latency-optimal placement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..topology.nodes import Tier
+from ..topology.world import World
+from .placement import Placement, PlacementEvaluation, evaluate_placement
+from .task import TaskGraph
+
+__all__ = [
+    "OffloadDecision",
+    "Strategy",
+    "LocalOnly",
+    "CloudOnly",
+    "EdgeOnly",
+    "Greedy",
+    "Exhaustive",
+    "DynamicVDAP",
+    "BASELINES",
+]
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """A chosen placement with its evaluated costs."""
+
+    placement: Placement
+    evaluation: PlacementEvaluation
+    strategy: str
+    meets_deadline: bool = True
+
+
+class Strategy:
+    """Base: decide(graph, world, deadline) -> OffloadDecision."""
+
+    name = "base"
+
+    def decide(
+        self, graph: TaskGraph, world: World, deadline_s: float | None = None
+    ) -> OffloadDecision:
+        raise NotImplementedError
+
+    def _wrap(
+        self,
+        graph: TaskGraph,
+        world: World,
+        placement: Placement,
+        deadline_s: float | None,
+    ) -> OffloadDecision:
+        evaluation = evaluate_placement(graph, placement, world)
+        meets = deadline_s is None or evaluation.latency_s <= deadline_s
+        return OffloadDecision(
+            placement=placement,
+            evaluation=evaluation,
+            strategy=self.name,
+            meets_deadline=meets and evaluation.feasible,
+        )
+
+
+class _UniformStrategy(Strategy):
+    tier = Tier.VEHICLE
+
+    def decide(self, graph, world, deadline_s=None):
+        return self._wrap(graph, world, Placement.uniform(graph, self.tier), deadline_s)
+
+
+class LocalOnly(_UniformStrategy):
+    """All processing on the vehicle (the in-vehicle-based solution)."""
+
+    name = "local-only"
+    tier = Tier.VEHICLE
+
+
+class CloudOnly(_UniformStrategy):
+    """All processing in the remote cloud (the cloud-based solution)."""
+
+    name = "cloud-only"
+    tier = Tier.CLOUD
+
+
+class EdgeOnly(_UniformStrategy):
+    """All processing on the serving XEdge."""
+
+    name = "edge-only"
+    tier = Tier.EDGE
+
+
+class Greedy(Strategy):
+    """Earliest-finish list scheduling: place each task (in topological
+    order) on the tier that minimizes its own finish time given its
+    predecessors' placements."""
+
+    name = "greedy"
+
+    def decide(self, graph, world, deadline_s=None):
+        assignment: dict[str, str] = {}
+        for name in graph.task_names:
+            best_tier, best_latency = None, float("inf")
+            for tier in Tier.ALL:
+                trial = dict(assignment)
+                trial[name] = tier
+                # Fill the not-yet-placed remainder with the vehicle so the
+                # partial placement is evaluable; only the prefix matters
+                # for this task's finish time.
+                for later in graph.task_names:
+                    trial.setdefault(later, Tier.VEHICLE)
+                evaluation = evaluate_placement(graph, Placement(trial), world)
+                if evaluation.feasible and evaluation.latency_s < best_latency:
+                    best_tier, best_latency = tier, evaluation.latency_s
+            assignment[name] = best_tier or Tier.VEHICLE
+        return self._wrap(graph, world, Placement(assignment), deadline_s)
+
+
+class Exhaustive(Strategy):
+    """Latency-optimal placement by brute force (small DAGs only)."""
+
+    name = "exhaustive"
+
+    def __init__(self, max_tasks: int = 10):
+        self.max_tasks = max_tasks
+
+    def candidates(self, graph: TaskGraph):
+        names = graph.task_names
+        if len(names) > self.max_tasks:
+            raise ValueError(
+                f"exhaustive search limited to {self.max_tasks} tasks, got {len(names)}"
+            )
+        for combo in itertools.product(Tier.ALL, repeat=len(names)):
+            yield Placement(dict(zip(names, combo)))
+
+    def decide(self, graph, world, deadline_s=None):
+        best, best_eval = None, None
+        for placement in self.candidates(graph):
+            evaluation = evaluate_placement(graph, placement, world)
+            if not evaluation.feasible:
+                continue
+            if best_eval is None or evaluation.latency_s < best_eval.latency_s:
+                best, best_eval = placement, evaluation
+        if best is None:
+            raise RuntimeError("no feasible placement exists")
+        return self._wrap(graph, world, best, deadline_s)
+
+
+class DynamicVDAP(Strategy):
+    """The paper's strategy: deadline first, then bandwidth, then energy.
+
+    Among all feasible placements whose end-to-end latency meets the
+    service deadline, choose the one consuming the least uplink bandwidth;
+    break ties on vehicle energy.  With no deadline (or none attainable),
+    return the latency-optimal placement (and flag the deadline miss so
+    Elastic Management can hang the service up).
+    """
+
+    name = "dynamic-vdap"
+
+    def __init__(self, max_tasks: int = 10):
+        self._search = Exhaustive(max_tasks=max_tasks)
+
+    def decide(self, graph, world, deadline_s=None):
+        best_fast, best_fast_eval = None, None
+        best_cheap, best_cheap_eval = None, None
+        for placement in self._search.candidates(graph):
+            evaluation = evaluate_placement(graph, placement, world)
+            if not evaluation.feasible:
+                continue
+            if best_fast_eval is None or evaluation.latency_s < best_fast_eval.latency_s:
+                best_fast, best_fast_eval = placement, evaluation
+            if deadline_s is not None and evaluation.latency_s <= deadline_s:
+                key = (evaluation.uplink_bytes, evaluation.vehicle_energy_j)
+                if best_cheap_eval is None or key < (
+                    best_cheap_eval.uplink_bytes,
+                    best_cheap_eval.vehicle_energy_j,
+                ):
+                    best_cheap, best_cheap_eval = placement, evaluation
+        if best_cheap is not None:
+            return OffloadDecision(
+                placement=best_cheap,
+                evaluation=best_cheap_eval,
+                strategy=self.name,
+                meets_deadline=True,
+            )
+        if best_fast is None:
+            raise RuntimeError("no feasible placement exists")
+        meets = deadline_s is None or best_fast_eval.latency_s <= deadline_s
+        return OffloadDecision(
+            placement=best_fast,
+            evaluation=best_fast_eval,
+            strategy=self.name,
+            meets_deadline=meets,
+        )
+
+
+#: The three architectures of SIII, for the ablation benches.
+BASELINES = (LocalOnly(), CloudOnly(), EdgeOnly())

@@ -1,0 +1,103 @@
+"""Task graphs: the unit of offloading.
+
+A service is modelled as a DAG of tasks (paper SIV-B2: "DSF divides the
+original applications into some sub-tasks by fine-grained").  Each task has
+an arithmetic cost, a workload class (which processors can run it and how
+fast), and an output size (what must cross the network if its consumer is
+placed elsewhere).  Root tasks additionally consume source data -- sensor
+bytes that originate on the vehicle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..hw.processor import WorkloadClass
+
+__all__ = ["Task", "TaskGraph"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    ``source_bytes`` is nonzero only for root tasks: the sensor data they
+    ingest (e.g. a camera frame), which lives on the vehicle.
+    """
+
+    name: str
+    work_gops: float
+    workload: WorkloadClass
+    output_bytes: float = 0.0
+    source_bytes: float = 0.0
+    memory_gb: float = 0.0
+
+    def __post_init__(self):
+        if self.work_gops < 0 or self.output_bytes < 0 or self.source_bytes < 0:
+            raise ValueError(f"task {self.name}: negative cost")
+
+
+class TaskGraph:
+    """A DAG of tasks with dependency edges."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    def add_task(self, task: Task) -> Task:
+        if task.name in self._graph:
+            raise ValueError(f"duplicate task {task.name!r}")
+        self._graph.add_node(task.name, task=task)
+        return task
+
+    def add_edge(self, producer: str, consumer: str) -> None:
+        for name in (producer, consumer):
+            if name not in self._graph:
+                raise KeyError(f"unknown task {name!r}")
+        self._graph.add_edge(producer, consumer)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(producer, consumer)
+            raise ValueError(f"edge {producer}->{consumer} creates a cycle")
+
+    def task(self, name: str) -> Task:
+        return self._graph.nodes[name]["task"]
+
+    @property
+    def task_names(self) -> list[str]:
+        return list(nx.topological_sort(self._graph))
+
+    @property
+    def tasks(self) -> list[Task]:
+        return [self.task(name) for name in self.task_names]
+
+    def predecessors(self, name: str) -> list[str]:
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> list[str]:
+        return list(self._graph.successors(name))
+
+    @property
+    def roots(self) -> list[str]:
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    @property
+    def sinks(self) -> list[str]:
+        return [n for n in self._graph.nodes if self._graph.out_degree(n) == 0]
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def total_work_gops(self) -> float:
+        return sum(task.work_gops for task in self.tasks)
+
+    @classmethod
+    def chain(cls, name: str, tasks: list[Task]) -> "TaskGraph":
+        """Convenience: a linear pipeline of tasks."""
+        graph = cls(name)
+        for task in tasks:
+            graph.add_task(task)
+        for a, b in zip(tasks, tasks[1:]):
+            graph.add_edge(a.name, b.name)
+        return graph

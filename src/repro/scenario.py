@@ -1,0 +1,220 @@
+"""High-level drive scenarios: the whole platform, one call.
+
+This is the adoption surface for downstream users: build a
+:class:`DriveScenario`, register polymorphic services, and :meth:`run` a
+drive.  The scenario owns the wiring the examples would otherwise repeat --
+simulator, mHEP + DSF, DDI collection, Elastic Management re-tuning as
+coverage changes along the road, on-board execution of each service's
+vehicle-side share -- and returns a consolidated report.
+
+Coverage model: DSRC quality to the serving XEdge degrades with distance
+(full rate near an RSU, collapsing toward the coverage edge, dead in
+gaps), which is what drives pipeline switching during the drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ddi.collectors import OBDCollector
+from .ddi.diskdb import DiskDB
+from .ddi.service import DDIService
+from .edgeos.elastic import ElasticManager
+from .edgeos.service import PolymorphicService
+from .edgeos.sharing import DataSharingBus
+from .metrics.stats import Summary, Timeline
+from .offload.executor import DistributedExecutor
+from .topology.nodes import Tier
+from .topology.world import World, build_default_world
+from .sim.core import Simulator
+from .vcu.dsf import DSF
+from .vcu.mhep import MHEP
+
+__all__ = ["ServiceReport", "ScenarioReport", "DriveScenario"]
+
+DSRC_FULL_MBPS = 27.0
+DSRC_DEAD_MBPS = 0.02
+
+
+@dataclass
+class ServiceReport:
+    """Per-service outcome of a drive."""
+
+    name: str
+    invocations: int = 0
+    deadline_misses: int = 0
+    hung_ticks: int = 0
+    latency: Summary = None
+    executed_latency: Summary = None
+    pipeline_timeline: Timeline = None
+
+    def __post_init__(self):
+        if self.latency is None:
+            self.latency = Summary(f"{self.name}:latency")
+        if self.executed_latency is None:
+            self.executed_latency = Summary(f"{self.name}:executed")
+        if self.pipeline_timeline is None:
+            self.pipeline_timeline = Timeline(f"{self.name}:pipeline")
+
+    @property
+    def switches(self) -> int:
+        return self.pipeline_timeline.changes()
+
+
+@dataclass
+class ScenarioReport:
+    """Everything a drive produced."""
+
+    duration_s: float
+    services: dict[str, ServiceReport] = field(default_factory=dict)
+    vehicle_energy_j: float = 0.0
+    ddi_records: int = 0
+    ddi_cache_hit_rate: float = 0.0
+
+    def service(self, name: str) -> ServiceReport:
+        return self.services[name]
+
+
+class DriveScenario:
+    """One vehicle driving past XEdge servers, running managed services."""
+
+    def __init__(
+        self,
+        world: World | None = None,
+        seed: int = 0,
+        tick_s: float = 1.0,
+        ddi_root: str | None = None,
+        execute_distributed: bool = False,
+    ):
+        """``execute_distributed=True`` additionally runs every invocation's
+        full placed graph through the :class:`DistributedExecutor`, so the
+        report's ``executed_latency`` includes queueing/contention the
+        analytic ``latency`` cannot see."""
+        if tick_s <= 0:
+            raise ValueError("tick must be positive")
+        self.world = world or build_default_world()
+        self.tick_s = tick_s
+        self.execute_distributed = execute_distributed
+        self.rng = np.random.default_rng(seed)
+        self.sim = Simulator()
+        self.mhep = MHEP(self.sim)
+        for processor in self.world.vehicle.processors:
+            self.mhep.register(processor)
+        self.dsf = DSF(self.sim, self.mhep)
+        self.executor = DistributedExecutor(self.sim, self.world)
+        self.manager = ElasticManager()
+        self.sharing = DataSharingBus()
+        self.ddi: DDIService | None = None
+        if ddi_root is not None:
+            self.ddi = DDIService(lambda: self.sim.now, DiskDB(ddi_root))
+        self._services: list[PolymorphicService] = []
+        self._periods: dict[str, float] = {}
+
+    def add_service(self, service: PolymorphicService, period_s: float = 1.0) -> None:
+        """Manage a service, invoking it every ``period_s`` of the drive."""
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.manager.register(service)
+        self._services.append(service)
+        self._periods[service.name] = period_s
+
+    def attach_obd(self, profile) -> None:
+        """Wire an OBD collector to the scenario's DDI (requires ddi_root)."""
+        if self.ddi is None:
+            raise RuntimeError("scenario built without a DDI root")
+        self.ddi.attach_collector(OBDCollector(profile=profile, rng=self.rng))
+
+    # -- coverage-driven link quality ------------------------------------------
+
+    def dsrc_quality_at(self, time_s: float) -> float:
+        """DSRC bandwidth to the nearest XEdge at the vehicle's position."""
+        edge = self.world.serving_edge(time_s)
+        if edge is None:
+            return DSRC_DEAD_MBPS
+        x = self.world.vehicle.position(time_s)
+        z = abs(x - edge.position_m) / edge.coverage_radius_m
+        # Full rate in the inner half of the cell, steep rolloff after.
+        return max(DSRC_DEAD_MBPS, DSRC_FULL_MBPS * (1.0 - max(0.0, z - 0.5) * 2.0) ** 2)
+
+    def _record_executed(self, proc, service_report: ServiceReport):
+        """Process: await a distributed execution and record its latency."""
+        try:
+            result = yield proc
+        except RuntimeError:
+            return
+        service_report.executed_latency.record(result.latency_s)
+
+    # -- the drive loop ------------------------------------------------------------
+
+    def run(self, duration_s: float) -> ScenarioReport:
+        """Execute the drive and return the consolidated report."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        report = ScenarioReport(duration_s=duration_s)
+        for service in self._services:
+            report.services[service.name] = ServiceReport(name=service.name)
+        next_invocation = {service.name: 0.0 for service in self._services}
+
+        def control_loop(sim):
+            while sim.now < duration_s:
+                # 1. Update link quality from coverage geometry.
+                self.world.links.vehicle_edge.bandwidth_mbps = self.dsrc_quality_at(sim.now)
+                # 2. Elastic re-tune.
+                for service in self._services:
+                    service_report = report.services[service.name]
+                    choice = self.manager.choose(service, self.world)
+                    service_report.pipeline_timeline.record(
+                        sim.now, choice.pipeline or "HUNG"
+                    )
+                    if choice.hung:
+                        service_report.hung_ticks += 1
+                        continue
+                    # 3. Invoke the service if its period elapsed.
+                    if sim.now + 1e-9 < next_invocation[service.name]:
+                        continue
+                    next_invocation[service.name] = sim.now + self._periods[service.name]
+                    service_report.invocations += 1
+                    evaluation = choice.evaluation
+                    service_report.latency.record(evaluation.latency_s)
+                    if evaluation.latency_s > service.deadline_s:
+                        service_report.deadline_misses += 1
+                    # 4. Execute the invocation.
+                    graph = service.graph_factory()
+                    pipeline = service.pipeline(choice.pipeline)
+                    if self.execute_distributed:
+                        # Full placed graph through the distributed executor:
+                        # executed latencies include queueing.
+                        proc = self.executor.submit(
+                            graph, pipeline.placement(), priority=service.qos
+                        )
+                        sim.process(
+                            self._record_executed(proc, service_report)
+                        )
+                    else:
+                        # On-board share only, through the VCU's DSF.
+                        local_tasks = [
+                            task for task in graph.tasks
+                            if pipeline.assignment[task.name] == Tier.VEHICLE
+                        ]
+                        if local_tasks:
+                            from .offload.task import TaskGraph
+
+                            local_graph = TaskGraph(f"{service.name}@{sim.now:.0f}")
+                            for task in local_tasks:
+                                local_graph.add_task(task)
+                            self.dsf.submit(local_graph, priority=service.qos)
+                # 5. DDI collection.
+                if self.ddi is not None:
+                    self.ddi.collect_all(sim.now)
+                yield sim.timeout(self.tick_s)
+
+        self.sim.process(control_loop(self.sim))
+        self.sim.run()
+
+        report.vehicle_energy_j = self.dsf.energy.busy_joules()
+        if self.ddi is not None:
+            report.ddi_records = self.ddi.uploads
+            report.ddi_cache_hit_rate = self.ddi.cache.stats.hit_rate
+        return report

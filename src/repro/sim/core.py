@@ -1,0 +1,346 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate every other subsystem runs on.  It provides a
+SimPy-flavoured programming model -- generator-based processes that yield
+events -- implemented from scratch so the whole platform is dependency-free
+and fully deterministic: events that share a timestamp fire in the order
+they were scheduled.
+
+Typical usage::
+
+    sim = Simulator()
+
+    def driver(sim):
+        yield sim.timeout(1.0)
+        result = yield sim.process(worker(sim))
+        return result
+
+    proc = sim.process(driver(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal kernel operations (e.g. running time backwards)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *pending* until :meth:`succeed` or :meth:`fail` is called,
+    after which its callbacks are scheduled on the event loop.  Events carry
+    a ``value`` (the result handed to waiters) and may hold an exception if
+    they failed.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value/exception is set and the firing is scheduled."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event loop has fired this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before it triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def _resolve(self) -> None:
+        """Run callbacks; called by the event loop when this event fires."""
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks or []:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._triggered = True
+        sim._schedule_event(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes.
+
+    The process's return value (via ``return`` in the generator) becomes the
+    event value, so ``result = yield sim.process(...)`` works.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: step the generator at the current time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._step)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        wake = Event(self.sim)
+        wake.callbacks.append(lambda _evt: self._step_throw(Interrupt(cause)))
+        wake.succeed()
+
+    # -- internal stepping ------------------------------------------------
+
+    def _detach(self) -> None:
+        target = self._waiting_on
+        if (
+            target is not None
+            and target.callbacks is not None
+            and self._step in target.callbacks
+        ):
+            target.callbacks.remove(self._step)
+        self._waiting_on = None
+
+    def _step_throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._detach()
+        try:
+            yielded = self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate via event
+            self.fail(err)
+            return
+        self._wait_on(yielded)
+
+    def _step(self, trigger: Optional[Event] = None) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if trigger is not None and trigger._exception is not None:
+                yielded = self.generator.throw(trigger._exception)
+            else:
+                send_value = None if trigger is None else trigger._value
+                yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate via event
+            self.fail(err)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if not isinstance(yielded, Event):
+            self._step_throw(
+                SimulationError(f"process {self.name} yielded non-event: {yielded!r}")
+            )
+            return
+        if yielded.processed:
+            # Already fired: resume on the next loop iteration at current time.
+            relay = Event(self.sim)
+            relay._triggered = True
+            relay._value = yielded._value
+            relay._exception = yielded._exception
+            relay.callbacks.append(self._step)
+            self.sim._schedule_event(relay)
+        else:
+            self._waiting_on = yielded
+            yielded.callbacks.append(self._step)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+        if not self.triggered and self._check():
+            self.succeed(self._results())
+
+    def _results(self) -> dict:
+        return {
+            i: evt._value
+            for i, evt in enumerate(self.events)
+            if evt.processed and evt._exception is None
+        }
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        if self._check():
+            self.succeed(self._results())
+
+    def _check(self) -> bool:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event has fired."""
+
+    def _check(self) -> bool:
+        return any(evt.processed and evt.ok for evt in self.events)
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired."""
+
+    def _check(self) -> bool:
+        return all(evt.processed and evt.ok for evt in self.events)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, priority, seq, event)."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._counter), event)
+        )
+
+    def stop(self) -> None:
+        """Halt :meth:`run` after the current event finishes."""
+        self._stopped = True
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or stop().
+
+        Returns the simulation time at exit.  ``until`` is an absolute time;
+        the clock is advanced to it even if no event lands exactly there.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"cannot run backwards: until={until} < now={self._now}")
+        self._stopped = False
+        while self._queue and not self._stopped:
+            when, _prio, _seq, event = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = when
+            event._resolve()
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
+        return self._now
+
+    def step(self) -> float:
+        """Process exactly one event; returns the new time."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._resolve()
+        return self._now

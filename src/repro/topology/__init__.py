@@ -1,0 +1,22 @@
+"""Topology substrate: nodes, mobility, and scenario wiring."""
+
+from .mobility import ConstantSpeed, SpeedProfile, highway_profile, urban_profile
+from .nodes import Cloud, LinkTable, Node, Tier, Vehicle, XEdge
+from .world import LTE_LINK_PRESET, World, build_default_world, link_from_preset
+
+__all__ = [
+    "Cloud",
+    "ConstantSpeed",
+    "LTE_LINK_PRESET",
+    "LinkTable",
+    "Node",
+    "SpeedProfile",
+    "Tier",
+    "Vehicle",
+    "World",
+    "XEdge",
+    "build_default_world",
+    "highway_profile",
+    "link_from_preset",
+    "urban_profile",
+]

@@ -1,0 +1,109 @@
+"""Vehicle mobility models.
+
+The drive experiments need position-vs-time along a road; the offloading
+scenarios additionally need dwell times within RSU coverage.  Two models:
+
+* :class:`ConstantSpeed` -- the paper's Figure 2 procedure (fixed MPH).
+* :class:`SpeedProfile` -- piecewise-linear speed trace (urban stop-and-go,
+  highway cruise) used by the workload generator and pBEAM training data.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConstantSpeed", "SpeedProfile", "urban_profile", "highway_profile"]
+
+
+@dataclass(frozen=True)
+class ConstantSpeed:
+    """Straight-line motion at a constant speed."""
+
+    speed_mps: float
+    start_position_m: float = 0.0
+
+    def position(self, time_s: float) -> float:
+        return self.start_position_m + self.speed_mps * time_s
+
+    def speed(self, time_s: float) -> float:
+        return self.speed_mps
+
+
+class SpeedProfile:
+    """Piecewise-linear speed over time; position by trapezoidal integration.
+
+    ``points`` is a list of (time_s, speed_mps) knots, sorted by time; speed
+    is linearly interpolated between knots and held constant beyond the
+    last knot.
+    """
+
+    def __init__(self, points: list[tuple[float, float]], start_position_m: float = 0.0):
+        if not points:
+            raise ValueError("speed profile needs at least one knot")
+        times = [t for t, _ in points]
+        if times != sorted(times):
+            raise ValueError("profile knots must be sorted by time")
+        if any(v < 0 for _, v in points):
+            raise ValueError("speeds must be non-negative")
+        self.points = list(points)
+        self.start_position_m = start_position_m
+        # Precompute cumulative distance at each knot.
+        self._cum = [0.0]
+        for (t0, v0), (t1, v1) in zip(self.points, self.points[1:]):
+            self._cum.append(self._cum[-1] + 0.5 * (v0 + v1) * (t1 - t0))
+
+    def speed(self, time_s: float) -> float:
+        pts = self.points
+        if time_s <= pts[0][0]:
+            return pts[0][1]
+        if time_s >= pts[-1][0]:
+            return pts[-1][1]
+        i = bisect.bisect_right([t for t, _ in pts], time_s) - 1
+        t0, v0 = pts[i]
+        t1, v1 = pts[i + 1]
+        frac = (time_s - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+    def position(self, time_s: float) -> float:
+        pts = self.points
+        if time_s <= pts[0][0]:
+            return self.start_position_m
+        if time_s >= pts[-1][0]:
+            tail = (time_s - pts[-1][0]) * pts[-1][1]
+            return self.start_position_m + self._cum[-1] + tail
+        i = bisect.bisect_right([t for t, _ in pts], time_s) - 1
+        t0, v0 = pts[i]
+        dt = time_s - t0
+        v_now = self.speed(time_s)
+        return self.start_position_m + self._cum[i] + 0.5 * (v0 + v_now) * dt
+
+
+def urban_profile(
+    duration_s: float, rng: np.random.Generator, mean_speed_mps: float = 10.0
+) -> SpeedProfile:
+    """Stop-and-go city driving: speed oscillates between 0 and ~2x mean."""
+    knots = [(0.0, 0.0)]
+    t = 0.0
+    while t < duration_s:
+        t += rng.uniform(10.0, 40.0)
+        if rng.random() < 0.3:
+            speed = 0.0  # red light
+        else:
+            speed = rng.uniform(0.3, 2.0) * mean_speed_mps
+        knots.append((t, float(speed)))
+    return SpeedProfile(knots)
+
+
+def highway_profile(
+    duration_s: float, rng: np.random.Generator, cruise_mps: float = 29.0
+) -> SpeedProfile:
+    """Highway cruise with mild speed variation around the set point."""
+    knots = [(0.0, cruise_mps)]
+    t = 0.0
+    while t < duration_s:
+        t += rng.uniform(20.0, 60.0)
+        knots.append((t, float(cruise_mps * rng.uniform(0.9, 1.1))))
+    return SpeedProfile(knots)

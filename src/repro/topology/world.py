@@ -1,0 +1,103 @@
+"""Scenario builder: the standard OpenVDAP deployment of Figure 4.
+
+One vehicle carrying the VCU, a line of XEdge servers along the road, and a
+remote cloud, connected by DSRC (vehicle<->edge), LTE (vehicle<->cloud) and
+fiber backhaul (edge<->cloud).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw import catalog
+from ..net.channel import LinkModel
+from ..net.params import BACKHAUL_PARAMS, DSRC_PARAMS, WIFI_PARAMS, LinkPreset
+from .mobility import ConstantSpeed
+from .nodes import Cloud, LinkTable, Tier, Vehicle, XEdge
+
+__all__ = ["World", "build_default_world", "link_from_preset", "LTE_LINK_PRESET"]
+
+#: Vehicle <-> cloud over LTE, as the offloading cost model sees it
+#: (sustained uplink, internet RTT, moderate loss while moving).
+LTE_LINK_PRESET = LinkPreset(name="lte", bandwidth_mbps=10.0, rtt_s=0.070, loss_rate=0.02)
+
+
+def link_from_preset(preset: LinkPreset) -> LinkModel:
+    """Instantiate a LinkModel from a parameter preset."""
+    return LinkModel(
+        name=preset.name,
+        bandwidth_mbps=preset.bandwidth_mbps,
+        rtt_s=preset.rtt_s,
+        loss_rate=preset.loss_rate,
+    )
+
+
+@dataclass
+class World:
+    """A wired-up scenario: nodes plus the links between tiers."""
+
+    vehicle: Vehicle
+    edges: list[XEdge]
+    cloud: Cloud
+    links: LinkTable
+    peers: list[Vehicle] = field(default_factory=list)
+
+    def node_for_tier(self, tier: str):
+        if tier == Tier.VEHICLE:
+            return self.vehicle
+        if tier == Tier.EDGE:
+            if not self.edges:
+                raise LookupError("world has no edge servers")
+            return self.edges[0]
+        if tier == Tier.CLOUD:
+            return self.cloud
+        raise KeyError(f"unknown tier {tier!r}")
+
+    def serving_edge(self, time_s: float) -> XEdge | None:
+        """The nearest XEdge covering the vehicle's position, if any."""
+        x = self.vehicle.position(time_s)
+        covering = [edge for edge in self.edges if edge.covers(x)]
+        if not covering:
+            return None
+        return min(covering, key=lambda edge: abs(edge.position_m - x))
+
+
+def build_default_world(
+    speed_mps: float = 13.4,
+    edge_count: int = 4,
+    edge_spacing_m: float = 450.0,
+    vehicle_processors=None,
+) -> World:
+    """The canonical single-vehicle scenario used by examples and ablations.
+
+    The default vehicle VCU carries an embedded CPU, a Jetson-class GPU and
+    a Movidius-class DSP stick -- the heterogeneous 1stHEP of SIV-B.
+    """
+    if vehicle_processors is None:
+        vehicle_processors = [
+            catalog.intel_i7_6700(),
+            catalog.jetson_tx2_maxp(),
+            catalog.intel_mncs(),
+        ]
+    vehicle = Vehicle(
+        name="cav-0",
+        processors=vehicle_processors,
+        mobility=ConstantSpeed(speed_mps=speed_mps),
+    )
+    edges = [
+        XEdge(
+            name=f"xedge-{i}",
+            processors=[catalog.edge_server_gpu()],
+            position_m=i * edge_spacing_m,
+            coverage_radius_m=edge_spacing_m / 2.0 + 50.0,
+        )
+        for i in range(edge_count)
+    ]
+    cloud = Cloud(processors=[catalog.cloud_server_gpu()])
+    links = LinkTable(
+        vehicle_edge=link_from_preset(DSRC_PARAMS),
+        vehicle_cloud=link_from_preset(LTE_LINK_PRESET),
+        edge_cloud=link_from_preset(BACKHAUL_PARAMS),
+        vehicle_vehicle=link_from_preset(WIFI_PARAMS),
+    )
+    return World(vehicle=vehicle, edges=edges, cloud=cloud, links=links)

@@ -1,0 +1,16 @@
+"""VCU: heterogeneous vehicle computing unit (mHEP + DSF + profiles)."""
+
+from .dsf import DSF, JobResult
+from .mhep import FIRST_LEVEL, MHEP, SECOND_LEVEL, Device
+from .profiles import ApplicationProfile, QoSClass
+
+__all__ = [
+    "ApplicationProfile",
+    "DSF",
+    "Device",
+    "FIRST_LEVEL",
+    "JobResult",
+    "MHEP",
+    "QoSClass",
+    "SECOND_LEVEL",
+]

@@ -1,0 +1,118 @@
+"""Synthetic road-scene generator.
+
+The vision substrate needs images; real dash-cam data is proprietary, so we
+generate parametric road scenes with ground truth: a textured road surface,
+two bright lane markings converging toward a vanishing point, and vehicle
+silhouettes (dark rectangular bodies with a bright license-plate strip and
+shadow).  Ground truth (lane line geometry, vehicle boxes) comes back with
+every scene so detectors can be scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SceneTruth", "road_scene", "vehicle_patch", "background_patch"]
+
+
+@dataclass
+class SceneTruth:
+    """Ground truth of a generated scene."""
+
+    lane_lines: list[tuple[float, float]] = field(default_factory=list)  # (slope, intercept) in x = m*y + b
+    vehicle_boxes: list[tuple[int, int, int, int]] = field(default_factory=list)  # x, y, w, h
+
+
+def _draw_line(img: np.ndarray, m: float, b: float, y0: int, y1: int, value: float, width: int = 2):
+    h, w = img.shape
+    for y in range(max(0, y0), min(h, y1)):
+        x = int(m * y + b)
+        lo, hi = max(0, x - width // 2), min(w, x + width // 2 + 1)
+        if lo < hi:
+            img[y, lo:hi] = value
+
+
+def _draw_vehicle(img: np.ndarray, x: int, y: int, w: int, h: int, rng: np.random.Generator):
+    hgt, wid = img.shape
+    x0, y0 = max(0, x), max(0, y)
+    x1, y1 = min(wid, x + w), min(hgt, y + h)
+    if x0 >= x1 or y0 >= y1:
+        return
+    # Dark body with slight texture.
+    img[y0:y1, x0:x1] = 0.15 + 0.05 * rng.random((y1 - y0, x1 - x0))
+    # Bright horizontal plate/bumper strip near the bottom.
+    strip_y = min(hgt - 1, y + int(0.8 * h))
+    strip_h = max(1, h // 10)
+    img[strip_y : min(hgt, strip_y + strip_h), x0:x1] = 0.9
+    # Dark shadow under the vehicle.
+    shadow_y = min(hgt, y + h)
+    img[shadow_y : min(hgt, shadow_y + max(1, h // 8)), x0:x1] = 0.05
+    # Windshield band (brighter) in the top third.
+    wind_y1 = y0 + max(1, (y1 - y0) // 3)
+    img[y0:wind_y1, x0:x1] = 0.45
+
+
+def road_scene(
+    width: int = 640,
+    height: int = 480,
+    rng: np.random.Generator | None = None,
+    vehicle_count: int = 1,
+    noise: float = 0.02,
+) -> tuple[np.ndarray, SceneTruth]:
+    """A grayscale road scene in [0, 1] with ground truth.
+
+    Lane lines are drawn as ``x = m*y + b`` rays from the vanishing point
+    (centre of the horizon) down to the bottom edge, which is how dashcam
+    lane geometry actually looks.
+    """
+    rng = rng or np.random.default_rng(0)
+    img = np.full((height, width), 0.35)  # asphalt
+    img[: height // 3, :] = 0.7  # sky
+    truth = SceneTruth()
+
+    horizon = height // 3
+    vanish_x = width / 2 + rng.uniform(-20, 20)
+    # Left and right lane markings.
+    for sign in (-1, 1):
+        bottom_x = vanish_x + sign * rng.uniform(0.28, 0.42) * width
+        m = (bottom_x - vanish_x) / (height - horizon)
+        b = vanish_x - m * horizon
+        _draw_line(img, m, b, horizon, height, value=0.95, width=3)
+        truth.lane_lines.append((m, b))
+
+    for _ in range(vehicle_count):
+        vw = int(rng.uniform(0.10, 0.22) * width)
+        vh = int(vw * rng.uniform(0.7, 0.9))
+        vx = int(rng.uniform(0.15, 0.85) * width - vw / 2)
+        vy = int(rng.uniform(horizon + 10, height - vh - 10))
+        _draw_vehicle(img, vx, vy, vw, vh, rng)
+        truth.vehicle_boxes.append((vx, vy, vw, vh))
+
+    img += rng.normal(0.0, noise, size=img.shape)
+    return np.clip(img, 0.0, 1.0), truth
+
+
+def vehicle_patch(size: int, rng: np.random.Generator) -> np.ndarray:
+    """A size x size patch containing a vehicle (for detector training)."""
+    img = np.full((size, size), 0.35)
+    margin = max(1, size // 8)
+    _draw_vehicle(img, margin, margin, size - 2 * margin, size - 2 * margin, rng)
+    img += rng.normal(0.0, 0.03, size=img.shape)
+    return np.clip(img, 0.0, 1.0)
+
+
+def background_patch(size: int, rng: np.random.Generator) -> np.ndarray:
+    """A size x size patch of road/sky/lane background."""
+    choice = rng.integers(0, 3)
+    if choice == 0:
+        img = np.full((size, size), 0.35)  # plain road
+    elif choice == 1:
+        img = np.full((size, size), 0.7)  # sky
+    else:
+        img = np.full((size, size), 0.35)
+        column = rng.integers(0, size)
+        img[:, max(0, column - 1) : column + 2] = 0.95  # lane stripe
+    img += rng.normal(0.0, 0.05, size=img.shape)
+    return np.clip(img, 0.0, 1.0)

@@ -1,0 +1,82 @@
+"""Table I harness: latency of driving algorithms on the 2.4 GHz vCPU.
+
+Ties the three detectors' mechanistic operation counts to a processor
+model.  The paper ran Lane Detection (computer vision), Vehicle Detection
+(Haar) and Vehicle Detection (TensorFlow CNN) on an AWS EC2 2.4 GHz vCPU
+and reported 13.57 ms / 269.46 ms / 13 971.98 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hw.catalog import aws_vcpu_2_4ghz
+from ..hw.processor import ProcessorModel, WorkloadClass
+from .cnn_detect import CnnDetector, train_cnn_detector
+from .haar import HaarDetector, train_haar_detector
+from .image import background_patch, road_scene, vehicle_patch
+from .lane import detect_lanes
+
+__all__ = ["AlgorithmLatency", "table1_rows", "default_detectors"]
+
+FRAME_WIDTH = 640
+FRAME_HEIGHT = 480
+
+
+@dataclass(frozen=True)
+class AlgorithmLatency:
+    """One Table I row: algorithm name, op count, modelled latency."""
+
+    name: str
+    ops: float
+    workload: WorkloadClass
+    latency_ms: float
+
+
+def default_detectors(rng: np.random.Generator | None = None) -> tuple[HaarDetector, CnnDetector]:
+    """Train the detector pair used by the Table I benchmark."""
+    rng = rng or np.random.default_rng(0)
+    positives = [vehicle_patch(24, rng) for _ in range(60)]
+    negatives = [background_patch(24, rng) for _ in range(60)]
+    haar = train_haar_detector(positives, negatives, rounds=15, rng=rng)
+    cnn = train_cnn_detector(patch_size=32, channels=20, rng=rng)
+    return haar, cnn
+
+
+def table1_rows(
+    processor: ProcessorModel | None = None,
+    haar: HaarDetector | None = None,
+    cnn: CnnDetector | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[AlgorithmLatency]:
+    """The three Table I rows on the given processor (default: AWS vCPU).
+
+    Lane-detection ops come from actually running the pipeline on a
+    generated scene; the sliding-window detectors use their analytic scan
+    counts for the full 640x480 frame.
+    """
+    processor = processor or aws_vcpu_2_4ghz()
+    rng = rng or np.random.default_rng(0)
+    if haar is None or cnn is None:
+        trained_haar, trained_cnn = default_detectors(rng)
+        haar = haar or trained_haar
+        cnn = cnn or trained_cnn
+
+    scene, _truth = road_scene(FRAME_WIDTH, FRAME_HEIGHT, rng=rng, vehicle_count=1)
+    lane = detect_lanes(scene)
+
+    rows = []
+    for name, ops, workload in (
+        ("Lane Detection", lane.ops, WorkloadClass.VISION),
+        ("Vehicle Detection (Haar)", haar.scan_ops(FRAME_WIDTH, FRAME_HEIGHT), WorkloadClass.VISION),
+        ("Vehicle Detection (CNN)", cnn.scan_flops(FRAME_WIDTH, FRAME_HEIGHT), WorkloadClass.DNN),
+    ):
+        latency = processor.execution_time(ops / 1e9, workload)
+        rows.append(
+            AlgorithmLatency(
+                name=name, ops=float(ops), workload=workload, latency_ms=latency * 1e3
+            )
+        )
+    return rows

@@ -1,0 +1,33 @@
+"""Workload generators: driver-behaviour data and canonical service graphs."""
+
+from .driving import (
+    FEATURES,
+    MANEUVERS,
+    DriverProfile,
+    driver_dataset,
+    fleet_dataset,
+    maneuver_window,
+    random_profile,
+)
+from .services import (
+    STANDARD_MIX,
+    adas_frame_graph,
+    amber_search_graph,
+    diagnostics_graph,
+    infotainment_chunk_graph,
+)
+
+__all__ = [
+    "DriverProfile",
+    "FEATURES",
+    "MANEUVERS",
+    "STANDARD_MIX",
+    "adas_frame_graph",
+    "amber_search_graph",
+    "diagnostics_graph",
+    "driver_dataset",
+    "fleet_dataset",
+    "infotainment_chunk_graph",
+    "maneuver_window",
+    "random_profile",
+]

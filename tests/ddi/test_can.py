@@ -1,0 +1,109 @@
+"""Tests for the CAN frame codec and the EV collector."""
+
+import numpy as np
+import pytest
+
+from repro.ddi.can import (
+    EV_POWERTRAIN,
+    CanCollector,
+    CanFrame,
+    CanMessageSpec,
+    CanSignal,
+)
+from repro.topology import SpeedProfile
+
+
+def test_signal_validation():
+    with pytest.raises(ValueError):
+        CanSignal("bad", start_bit=-1, length=4)
+    with pytest.raises(ValueError):
+        CanSignal("bad", start_bit=60, length=8)  # spills past byte 8
+    with pytest.raises(ValueError):
+        CanSignal("bad", start_bit=0, length=4, scale=0.0)
+
+
+def test_signal_encode_decode_roundtrip():
+    signal = CanSignal("speed", start_bit=0, length=12, scale=0.05)
+    raw = signal.encode(27.35)
+    assert signal.decode(raw) == pytest.approx(27.35, abs=signal.scale)
+
+
+def test_signal_encode_clamps_to_field_width():
+    signal = CanSignal("s", start_bit=0, length=8, scale=1.0)
+    assert signal.encode(10_000.0) == 255
+    assert signal.encode(-5.0) == 0
+
+
+def test_signal_offset_allows_negative_values():
+    signal = CanSignal("temp", start_bit=0, length=8, scale=0.5, offset=-40.0)
+    raw = signal.encode(-10.0)
+    assert signal.decode(raw) == pytest.approx(-10.0)
+
+
+def test_message_spec_rejects_overlapping_signals():
+    with pytest.raises(ValueError):
+        CanMessageSpec(
+            can_id=1, name="bad",
+            signals=(CanSignal("a", 0, 8), CanSignal("b", 4, 8)),
+        )
+
+
+def test_frame_validation():
+    with pytest.raises(ValueError):
+        CanFrame(can_id=1, data=b"\x00" * 4)
+
+
+def test_message_roundtrip_through_wire_format():
+    values = {
+        "speed_mps": 31.3,
+        "motor_power_kw": 85.0,
+        "battery_soc": 77.7,
+        "battery_temp_c": 28.5,
+    }
+    frame = EV_POWERTRAIN.encode(values)
+    assert len(frame.data) == 8
+    decoded = EV_POWERTRAIN.decode(frame)
+    for name, value in values.items():
+        signal = next(s for s in EV_POWERTRAIN.signals if s.name == name)
+        assert decoded[name] == pytest.approx(value, abs=signal.scale)
+
+
+def test_message_encode_missing_signal_raises():
+    with pytest.raises(KeyError):
+        EV_POWERTRAIN.encode({"speed_mps": 10.0})
+
+
+def test_message_decode_wrong_id_raises():
+    frame = CanFrame(can_id=0x123, data=b"\x00" * 8)
+    with pytest.raises(ValueError):
+        EV_POWERTRAIN.decode(frame)
+
+
+def test_collector_produces_quantized_records():
+    profile = SpeedProfile([(0.0, 20.0)])
+    collector = CanCollector(profile=profile, rng=np.random.default_rng(0))
+    record = collector.sample(10.0)
+    assert record.stream == "can"
+    assert record.payload["speed_mps"] == pytest.approx(20.0, abs=0.05)
+    assert 0.0 <= record.payload["battery_soc"] <= 100.0
+    # Quantization: decoded speed lands exactly on a 0.05 grid.
+    assert (record.payload["speed_mps"] / 0.05) == pytest.approx(
+        round(record.payload["speed_mps"] / 0.05)
+    )
+
+
+def test_collector_soc_drains_over_time():
+    profile = SpeedProfile([(0.0, 20.0)])
+    collector = CanCollector(profile=profile, rng=np.random.default_rng(0))
+    early = collector.sample(0.0).payload["battery_soc"]
+    late = collector.sample(3600.0).payload["battery_soc"]
+    assert late < early
+
+
+def test_collector_power_tracks_acceleration():
+    accel_profile = SpeedProfile([(0.0, 0.0), (20.0, 30.0)])
+    cruise_profile = SpeedProfile([(0.0, 15.0)])
+    rng = np.random.default_rng(0)
+    accel = CanCollector(profile=accel_profile, rng=rng).sample(10.0)
+    cruise = CanCollector(profile=cruise_profile, rng=rng).sample(10.0)
+    assert accel.payload["motor_power_kw"] > cruise.payload["motor_power_kw"]

@@ -1,0 +1,92 @@
+"""Tests for the wireless-interface firewall."""
+
+import pytest
+
+from repro.edgeos import Direction, Firewall, Interface, PacketMeta, Rule
+
+
+def pkt(interface=Interface.DSRC, direction=Direction.IN, peer="cav-9",
+        service="safety-beacon"):
+    return PacketMeta(interface=interface, direction=direction, peer=peer,
+                      service=service)
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        Rule("drop")
+    with pytest.raises(ValueError):
+        Rule("allow", interface="carrier-pigeon")
+    with pytest.raises(ValueError):
+        Rule("allow", direction="sideways")
+
+
+def test_default_deny_inbound_wireless():
+    firewall = Firewall()
+    assert not firewall.permits(pkt())
+    assert firewall.dropped == [pkt()]
+
+
+def test_outbound_defaults_to_allow():
+    firewall = Firewall()
+    assert firewall.permits(pkt(direction=Direction.OUT))
+
+
+def test_stateful_reply_to_established_flow():
+    firewall = Firewall()
+    out = pkt(interface=Interface.CELLULAR, direction=Direction.OUT,
+              peer="api.weather.com", service="weather")
+    assert firewall.permits(out)
+    reply = pkt(interface=Interface.CELLULAR, direction=Direction.IN,
+                peer="api.weather.com", service="weather")
+    assert firewall.permits(reply)
+    # But unsolicited inbound from another peer on the same service: denied.
+    assert not firewall.permits(pkt(interface=Interface.CELLULAR,
+                                    peer="evil.example.com", service="weather"))
+
+
+def test_first_match_wins():
+    firewall = Firewall(rules=[
+        Rule("deny", Interface.DSRC, Direction.IN, peer="cav-9"),
+        Rule("allow", Interface.DSRC, Direction.IN),
+    ])
+    assert not firewall.permits(pkt(peer="cav-9"))
+    assert firewall.permits(pkt(peer="cav-7"))
+    assert firewall.hits(0) == 1 and firewall.hits(1) == 1
+
+
+def test_glob_patterns_match_peers_and_services():
+    firewall = Firewall(rules=[
+        Rule("allow", Interface.BLUETOOTH, Direction.IN, peer="paired:*",
+             service="obd-*"),
+    ])
+    assert firewall.permits(pkt(interface=Interface.BLUETOOTH,
+                                peer="paired:phone-1", service="obd-diagnostics"))
+    assert not firewall.permits(pkt(interface=Interface.BLUETOOTH,
+                                    peer="random-device", service="obd-diagnostics"))
+
+
+def test_rule_insertion_position():
+    firewall = Firewall(rules=[Rule("allow", Interface.DSRC, Direction.IN)])
+    firewall.add_rule(Rule("deny", Interface.DSRC, Direction.IN, peer="cav-9"),
+                      position=0)
+    assert not firewall.permits(pkt(peer="cav-9"))
+
+
+def test_vehicle_default_policy():
+    firewall = Firewall.vehicle_default()
+    # V2V safety beacons come in over DSRC.
+    assert firewall.permits(pkt(service="safety-beacon"))
+    # Shared plate results too (the collaboration topic).
+    assert firewall.permits(pkt(service="recognized-plates"))
+    # Remote attacker poking the diagnostics port over cellular: denied.
+    assert not firewall.permits(pkt(interface=Interface.CELLULAR,
+                                    peer="attacker", service="obd-diagnostics"))
+    # Paired phone over Bluetooth may use diagnostics.
+    assert firewall.permits(pkt(interface=Interface.BLUETOOTH,
+                                peer="paired:owner-phone",
+                                service="obd-diagnostics"))
+    # Model updates only from the platform cloud.
+    assert firewall.permits(pkt(interface=Interface.CELLULAR,
+                                peer="cloud.openvdap.org", service="model-update"))
+    assert not firewall.permits(pkt(interface=Interface.CELLULAR,
+                                    peer="mitm.example", service="model-update"))

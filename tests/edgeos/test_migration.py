@@ -1,0 +1,86 @@
+"""Tests for V2V service migration with admission control."""
+
+import pytest
+
+from repro.edgeos import MigrationManager, MigrationOffer, PseudonymManager
+from repro.net import LinkModel
+
+IMAGE = b"a3-service-v2"
+
+
+def trusted_manager():
+    manager = MigrationManager()
+    manager.trust_image("a3", IMAGE)
+    peer = PseudonymManager("cav-neighbor", b"shared-secret")
+    manager.trust_peer(peer)
+    return manager, peer
+
+
+def offer_from(peer: PseudonymManager, image: bytes = IMAGE, t: float = 10.0,
+               state: dict | None = None):
+    return MigrationOffer(
+        service_name="a3",
+        image=image,
+        state=state or {"/data/progress": b"sector-7"},
+        sender_pseudonym=peer.pseudonym(t),
+        sent_at_s=t,
+    )
+
+
+def test_trusted_migration_is_admitted_with_state():
+    manager, peer = trusted_manager()
+    result = manager.receive(offer_from(peer))
+    assert result.accepted
+    assert result.container is not None
+    assert result.container.read_file("/data/progress") == b"sector-7"
+    assert ("a3", True, "admitted") in manager.audit
+
+
+def test_tampered_image_is_quarantined():
+    manager, peer = trusted_manager()
+    result = manager.receive(offer_from(peer, image=b"a3-service-v2-TROJAN"))
+    assert not result.accepted
+    assert result.reason == "image tampered"
+    assert result.container is None
+    assert len(manager.quarantine) == 1
+
+
+def test_unknown_service_is_rejected():
+    manager, peer = trusted_manager()
+    offer = MigrationOffer("unknown-svc", b"img", {}, peer.pseudonym(0.0), 0.0)
+    result = manager.receive(offer)
+    assert not result.accepted and result.reason == "unknown image"
+
+
+def test_untrusted_sender_is_rejected():
+    manager, _peer = trusted_manager()
+    stranger = PseudonymManager("cav-stranger", b"other-secret")
+    result = manager.receive(offer_from(stranger))
+    assert not result.accepted and result.reason == "untrusted sender"
+
+
+def test_stale_pseudonym_is_rejected():
+    """A pseudonym from a long-past epoch no longer verifies (replay)."""
+    manager, peer = trusted_manager()
+    old = MigrationOffer(
+        "a3", IMAGE, {}, sender_pseudonym=peer.pseudonym(0.0), sent_at_s=5_000.0
+    )
+    result = manager.receive(old)
+    assert not result.accepted and result.reason == "untrusted sender"
+
+
+def test_transfer_cost_is_accounted_over_v2v_link():
+    manager, peer = trusted_manager()
+    wifi = LinkModel(name="wifi", bandwidth_mbps=80.0, rtt_s=0.003)
+    result = manager.receive(offer_from(peer), link=wifi)
+    assert result.accepted
+    assert result.transfer_s > 0.0
+
+
+def test_rejected_migration_still_costs_the_transfer():
+    """You pay for the bytes before you can inspect them."""
+    manager, peer = trusted_manager()
+    wifi = LinkModel(name="wifi", bandwidth_mbps=80.0, rtt_s=0.003)
+    result = manager.receive(offer_from(peer, image=b"evil"), link=wifi)
+    assert not result.accepted
+    assert result.transfer_s > 0.0

@@ -1,0 +1,130 @@
+"""Tests for automatic pipeline generation."""
+
+import pytest
+
+from repro.edgeos.pipelines import downward_closed_cuts, generate_pipelines
+from repro.hw import WorkloadClass
+from repro.offload import Placement, Task, TaskGraph, evaluate_placement
+from repro.topology import Tier, build_default_world
+from repro.workloads import amber_search_graph
+
+
+def chain3():
+    return TaskGraph.chain(
+        "c",
+        [
+            Task("a", 1.0, WorkloadClass.DNN, output_bytes=100, source_bytes=1000),
+            Task("b", 1.0, WorkloadClass.DNN, output_bytes=100),
+            Task("c", 1.0, WorkloadClass.DNN, output_bytes=100),
+        ],
+    )
+
+
+def test_downward_closed_cuts_of_a_chain():
+    """A chain of n tasks has exactly n+1 downward-closed cuts (prefixes)."""
+    cuts = downward_closed_cuts(chain3())
+    assert len(cuts) == 4
+    assert frozenset() in cuts and frozenset({"a", "b", "c"}) in cuts
+    assert frozenset({"a"}) in cuts and frozenset({"a", "b"}) in cuts
+    # Non-prefix subsets are excluded.
+    assert frozenset({"b"}) not in cuts
+
+
+def test_downward_closed_cuts_of_a_diamond():
+    graph = TaskGraph("d")
+    for name in "abcd":
+        graph.add_task(Task(name, 1.0, WorkloadClass.DNN))
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "c")
+    graph.add_edge("b", "d")
+    graph.add_edge("c", "d")
+    cuts = {tuple(sorted(c)) for c in downward_closed_cuts(graph)}
+    assert cuts == {
+        (), ("a",), ("a", "b"), ("a", "c"), ("a", "b", "c"), ("a", "b", "c", "d"),
+    }
+
+
+def test_cut_enumeration_size_guard():
+    graph = TaskGraph("big")
+    for i in range(17):
+        graph.add_task(Task(f"t{i}", 1.0, WorkloadClass.DNN))
+    with pytest.raises(ValueError):
+        downward_closed_cuts(graph)
+
+
+def test_generate_pipelines_pins_sensor_tasks_to_vehicle():
+    pipelines = generate_pipelines(chain3())
+    assert pipelines
+    for pipeline in pipelines:
+        assert pipeline.assignment["a"] == Tier.VEHICLE  # a has source bytes
+
+
+def test_generate_pipelines_without_pinning_includes_all_remote():
+    pipelines = generate_pipelines(chain3(), pin_sources_local=False)
+    names = {p.name for p in pipelines}
+    assert "all-edge" in names and "onboard" in names
+
+
+def test_generate_pipelines_names_are_unique():
+    pipelines = generate_pipelines(
+        amber_search_graph(), remote_tiers=(Tier.EDGE, Tier.CLOUD)
+    )
+    names = [p.name for p in pipelines]
+    assert len(names) == len(set(names))
+
+
+def test_generated_pipelines_cover_hand_written_ones():
+    """For the amber graph, the generator reproduces the paper's three
+    pipelines (onboard / all-remote / split-after-motion)."""
+    graph = amber_search_graph()
+    pipelines = generate_pipelines(graph, pin_sources_local=False)
+    assignments = {tuple(sorted(p.assignment.items())) for p in pipelines}
+
+    def as_key(mapping):
+        return tuple(sorted(mapping.items()))
+
+    onboard = {name: Tier.VEHICLE for name in graph.task_names}
+    all_edge = {name: Tier.EDGE for name in graph.task_names}
+    split = dict(onboard)
+    split["plate-detect"] = Tier.EDGE
+    split["plate-recognize"] = Tier.EDGE
+    for expected in (onboard, all_edge, split):
+        assert as_key(expected) in assignments
+
+
+def test_generated_pipelines_are_all_evaluable():
+    world = build_default_world()
+    graph = chain3()
+    for pipeline in generate_pipelines(graph, remote_tiers=(Tier.EDGE, Tier.CLOUD)):
+        evaluation = evaluate_placement(graph, pipeline.placement(), world)
+        assert evaluation.feasible
+
+
+def test_generate_pipelines_invalid_tier():
+    with pytest.raises(ValueError):
+        generate_pipelines(chain3(), remote_tiers=(Tier.VEHICLE,))
+
+
+def test_service_from_graph_end_to_end():
+    """A third-party graph becomes a fully managed service: pipelines are
+    generated, the elastic manager schedules it, and tightening the
+    network moves it on board."""
+    from repro.edgeos import ElasticManager, service_from_graph
+    from repro.vcu import QoSClass
+
+    service = service_from_graph(
+        "thirdparty-analytics",
+        qos=QoSClass.LATENCY_SENSITIVE,
+        deadline_s=5.0,
+        graph_factory=chain3,
+        remote_tiers=(Tier.EDGE, Tier.CLOUD),
+    )
+    assert len(service.pipelines) >= 3
+    world = build_default_world()
+    manager = ElasticManager()
+    manager.register(service)
+    assert not manager.choose(service, world).hung
+    world.links.vehicle_edge.bandwidth_mbps = 0.001
+    world.links.vehicle_cloud.bandwidth_mbps = 0.001
+    choice = manager.choose(service, world)
+    assert choice.pipeline == "onboard"

@@ -1,0 +1,107 @@
+"""Tests for the high-level DriveScenario orchestrator."""
+
+import pytest
+
+from repro.apps import make_adas_service, make_amber_service
+from repro.hw import catalog
+from repro.scenario import DriveScenario
+from repro.topology import SpeedProfile, build_default_world
+
+
+def scenario(tmp_path=None, **kwargs):
+    world = build_default_world(
+        speed_mps=15.0,
+        edge_count=3,
+        edge_spacing_m=600.0,
+        vehicle_processors=[catalog.intel_i7_6700(), catalog.intel_mncs()],
+    )
+    # Coverage gaps between RSUs: shrink the radii.
+    for edge in world.edges:
+        edge.coverage_radius_m = 200.0
+    return DriveScenario(world=world, ddi_root=str(tmp_path) if tmp_path else None,
+                         **kwargs)
+
+
+def test_scenario_validation(tmp_path):
+    with pytest.raises(ValueError):
+        DriveScenario(tick_s=0.0)
+    s = scenario()
+    with pytest.raises(ValueError):
+        s.add_service(make_adas_service(), period_s=0.0)
+    with pytest.raises(ValueError):
+        s.run(0.0)
+    with pytest.raises(RuntimeError):
+        s.attach_obd(SpeedProfile([(0.0, 15.0)]))
+
+
+def test_dsrc_quality_follows_coverage():
+    s = scenario()
+    # t=0: vehicle at x=0, on top of xedge-0 -> full rate.
+    assert s.dsrc_quality_at(0.0) == pytest.approx(27.0)
+    # Vehicle at x=300 (t=20): between cells (gap) -> dead.
+    assert s.dsrc_quality_at(20.0) < 1.0
+
+
+def test_drive_produces_consistent_report(tmp_path):
+    s = scenario(tmp_path)
+    s.add_service(make_adas_service(deadline_s=0.6), period_s=1.0)
+    s.add_service(make_amber_service(deadline_s=3.0), period_s=5.0)
+    s.attach_obd(SpeedProfile([(0.0, 15.0)]))
+    report = s.run(120.0)
+
+    adas = report.service("adas-perception")
+    amber = report.service("amber-search")
+    # Invocation counts respect the periods (minus any hung ticks).
+    assert 0 < amber.invocations <= adas.invocations
+    assert adas.invocations + adas.hung_ticks >= 100
+    # Latency summaries populated and sane.
+    assert adas.latency.count == adas.invocations
+    assert 0 < adas.latency.mean < 10.0
+    # The drive crosses coverage gaps: pipelines must have switched.
+    assert adas.switches >= 2
+    # On-board work burned energy; DDI collected every tick.
+    assert report.vehicle_energy_j > 0.0
+    assert report.ddi_records == 120
+
+
+def test_coverage_gaps_force_onboard_or_hang(tmp_path):
+    s = scenario(tmp_path)
+    s.add_service(make_adas_service(deadline_s=0.6), period_s=1.0)
+    report = s.run(120.0)
+    timeline = report.service("adas-perception").pipeline_timeline
+    values = set(timeline.values)
+    # In gaps the service runs on board (or hangs); near RSUs it offloads.
+    assert "onboard" in values
+    assert values & {"detect-on-edge", "perception-on-edge"}
+
+
+def test_deadline_misses_counted_against_service_deadline(tmp_path):
+    s = scenario(tmp_path)
+    # Impossible deadline: every non-hung invocation misses... actually the
+    # manager hangs the service instead, so invocations stay at zero.
+    s.add_service(make_adas_service(deadline_s=1e-6), period_s=1.0)
+    report = s.run(30.0)
+    svc = report.service("adas-perception")
+    assert svc.invocations == 0
+    assert svc.hung_ticks >= 29
+
+
+def test_distributed_execution_mode_records_real_latencies(tmp_path):
+    """With execute_distributed, every invocation's full placed graph runs
+    through the executor; executed latencies are >= the analytic values
+    (queueing, serialized links)."""
+    s = scenario(execute_distributed=True)
+    s.add_service(make_adas_service(deadline_s=0.8), period_s=1.0)
+    report = s.run(60.0)
+    svc = report.service("adas-perception")
+    assert svc.executed_latency.count > 0
+    # Executed latency accounts everything the analytic model does, plus
+    # contention -- so its mean can't be materially below the analytic one.
+    assert svc.executed_latency.mean >= svc.latency.mean * 0.8
+
+
+def test_default_mode_does_not_record_executed_latency(tmp_path):
+    s = scenario()
+    s.add_service(make_adas_service(deadline_s=0.8), period_s=1.0)
+    report = s.run(30.0)
+    assert report.service("adas-perception").executed_latency.count == 0

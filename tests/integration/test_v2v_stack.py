@@ -1,0 +1,89 @@
+"""Integration: the V2V stack -- beacons, firewall, sharing, migration."""
+
+import numpy as np
+
+from repro.apps import PlateSighting
+from repro.apps.collab import RESULTS_TOPIC, CollabReport, CollabVehicle
+from repro.ddi import CloudDataServer, DiskDB, Record, UplinkMigrator
+from repro.edgeos import (
+    DataSharingBus,
+    Direction,
+    Firewall,
+    Interface,
+    LocationFuzzer,
+    PacketMeta,
+    PseudonymManager,
+)
+from repro.net import DsrcMedium, DsrcRadio, LinkModel
+
+
+def test_range_gated_collaboration():
+    """Vehicles only consume shared results from peers their DSRC radio can
+    actually hear: out-of-range vehicles fall back to local recognition."""
+    medium = DsrcMedium(range_m=300.0)
+    bus = DataSharingBus()
+    bus.create_topic(RESULTS_TOPIC, readers=[], writers=[])
+
+    positions = {"cav-0": 0.0, "cav-1": 150.0, "cav-2": 5_000.0}
+    vehicles = {}
+    radios = {}
+    for vid, position in positions.items():
+        pseudonyms = PseudonymManager(vid, b"platoon")
+        radio = DsrcRadio(vehicle_id=vid, pseudonym_fn=pseudonyms.pseudonym)
+        medium.join(radio, lambda t, x=position: x)
+        radios[vid] = radio
+        vehicles[vid] = CollabVehicle(vid, bus, pseudonyms, collaborate=True)
+
+    medium.beacon_round(0.0)
+    # cav-0 and cav-1 hear each other; cav-2 hears nobody.
+    assert len(radios["cav-0"].table.neighbors(0.0)) == 1
+    assert len(radios["cav-2"].table.neighbors(0.0)) == 0
+
+    # The same candidate is seen by all three.
+    sighting = PlateSighting(time_s=0.0, position_m=100.0, plate="ABC-1", quality=0.9)
+    report = CollabReport()
+    vehicles["cav-0"].process(sighting, report)
+    # cav-1 is in range of cav-0: reuse allowed.
+    vehicles["cav-1"].collaborate = len(radios["cav-1"].table.neighbors(0.0)) > 0
+    vehicles["cav-1"].process(sighting, report)
+    # cav-2 heard nobody: must compute locally.
+    vehicles["cav-2"].collaborate = len(radios["cav-2"].table.neighbors(0.0)) > 0
+    vehicles["cav-2"].process(sighting, report)
+
+    assert report.recognitions_reused == 1      # cav-1 reused cav-0's result
+    assert report.recognitions_executed == 2    # cav-0 and the isolated cav-2
+
+
+def test_firewall_admits_collaboration_topic_traffic():
+    """The default vehicle policy allows the plate-sharing topic over DSRC
+    but blocks the same topic arriving over Bluetooth."""
+    firewall = Firewall.vehicle_default()
+    dsrc_pkt = PacketMeta(Interface.DSRC, Direction.IN, "peer-pseudonym",
+                          "recognized-plates")
+    bt_pkt = PacketMeta(Interface.BLUETOOTH, Direction.IN, "peer-pseudonym",
+                        "recognized-plates")
+    assert firewall.permits(dsrc_pkt)
+    assert not firewall.permits(bt_pkt)
+
+
+def test_full_data_path_vehicle_to_open_dataset(tmp_path):
+    """Sensor record -> DDI disk -> privacy fuzzing -> uplink migration ->
+    community query, end to end."""
+    disk = DiskDB(str(tmp_path / "ddi"))
+    rng = np.random.default_rng(0)
+    for t in range(10):
+        disk.put(Record("obd", float(t), float(rng.uniform(0, 400)), 0.0,
+                        {"speed_mps": 12.0 + t}))
+    server = CloudDataServer()
+    migrator = UplinkMigrator(
+        disk, server, ["obd"], fuzzer=LocationFuzzer(grid_m=500.0)
+    )
+    lte = LinkModel(name="lte", bandwidth_mbps=10.0, rtt_s=0.07)
+    while not migrator.fully_migrated(100.0):
+        assert migrator.run_round(100.0, lte) > 0
+
+    community = server.open_query("obd", 0.0, 100.0)
+    assert len(community) == 10
+    # The open dataset carries fuzzed locations and intact telemetry.
+    assert all(r.x_m == 250.0 for r in community)
+    assert [r.payload["speed_mps"] for r in community] == [12.0 + t for t in range(10)]

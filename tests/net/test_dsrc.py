@@ -1,0 +1,83 @@
+"""Tests for DSRC beaconing and neighbour discovery."""
+
+import pytest
+
+from repro.edgeos import PseudonymManager
+from repro.net import Beacon, DsrcMedium, DsrcRadio, NeighborTable
+
+
+def make_radio(vehicle_id: str, secret: bytes = b"fleet") -> DsrcRadio:
+    pseudonyms = PseudonymManager(vehicle_id, secret)
+    return DsrcRadio(vehicle_id=vehicle_id, pseudonym_fn=pseudonyms.pseudonym)
+
+
+def test_neighbor_table_expiry():
+    table = NeighborTable(expiry_s=1.0)
+    table.update(Beacon("p1", 0.0, 0.0, 10.0))
+    table.update(Beacon("p2", 0.5, 50.0, 12.0))
+    assert len(table.neighbors(0.9)) == 2
+    live = table.neighbors(1.2)
+    assert [n.pseudonym for n in live] == ["p2"]
+    assert len(table) == 1
+
+
+def test_neighbor_table_validation():
+    with pytest.raises(ValueError):
+        NeighborTable(expiry_s=0.0)
+
+
+def test_beacon_reaches_only_radios_in_range():
+    medium = DsrcMedium(range_m=300.0)
+    a, b, c = make_radio("a"), make_radio("b"), make_radio("c")
+    medium.join(a, lambda t: 0.0)
+    medium.join(b, lambda t: 200.0)
+    medium.join(c, lambda t: 1000.0)
+    medium.broadcast(a, time_s=0.0, speed_mps=15.0)
+    assert b.beacons_received == 1
+    assert c.beacons_received == 0
+    assert a.beacons_sent == 1
+
+
+def test_unjoined_sender_rejected():
+    medium = DsrcMedium()
+    with pytest.raises(ValueError):
+        medium.broadcast(make_radio("ghost"), 0.0, 0.0)
+
+
+def test_medium_validation():
+    with pytest.raises(ValueError):
+        DsrcMedium(range_m=0.0)
+
+
+def test_beacons_carry_pseudonyms_not_identities():
+    medium = DsrcMedium()
+    a, b = make_radio("VIN-A"), make_radio("VIN-B")
+    medium.join(a, lambda t: 0.0)
+    medium.join(b, lambda t: 100.0)
+    medium.beacon_round(0.0)
+    neighbor = b.table.neighbors(0.0)[0]
+    assert neighbor.pseudonym != "VIN-A"
+
+
+def test_moving_vehicles_discover_and_lose_each_other():
+    medium = DsrcMedium(range_m=300.0)
+    a = make_radio("a")
+    b = make_radio("b")
+    medium.join(a, lambda t: 0.0)            # parked
+    medium.join(b, lambda t: 30.0 * t)       # driving away at 30 m/s
+    # t=0..10: b within the (inclusive) 300 m range; afterwards out.
+    for t in range(20):
+        medium.beacon_round(float(t), speeds={"b": 30.0})
+    assert a.beacons_received == 11  # t = 0..10 (exactly 300 m at t=10)
+    # After expiry a's table no longer lists b.
+    assert a.table.neighbors(25.0) == []
+
+
+def test_beacon_round_everybody_hears_everybody_in_platoon():
+    medium = DsrcMedium(range_m=300.0)
+    radios = [make_radio(f"v{i}") for i in range(4)]
+    for i, radio in enumerate(radios):
+        medium.join(radio, lambda t, offset=i * 50.0: offset)
+    medium.beacon_round(0.0)
+    for radio in radios:
+        assert len(radio.table.neighbors(0.0)) == 3

@@ -1,0 +1,128 @@
+"""Unit tests for video stream modelling and RTP packetization."""
+
+import pytest
+
+from repro.net import (
+    VIDEO_1080P,
+    VIDEO_720P,
+    FrameLossAccounting,
+    RtpPacketizer,
+    VideoProfile,
+    VideoStream,
+)
+from repro.net.video import I_TO_P_SIZE_RATIO
+
+
+def test_profile_gop_frames():
+    assert VIDEO_720P.gop_frames == 60  # 30 fps x 2 s
+
+
+def test_profile_bitrate_budget_is_conserved():
+    prof = VIDEO_1080P
+    gop_bytes = prof.i_frame_bytes + (prof.gop_frames - 1) * prof.p_frame_bytes
+    expected = prof.bitrate_mbps * 1e6 / 8.0 * prof.gop_seconds
+    assert gop_bytes == pytest.approx(expected)
+
+
+def test_key_frames_are_bigger():
+    assert VIDEO_720P.i_frame_bytes == pytest.approx(
+        I_TO_P_SIZE_RATIO * VIDEO_720P.p_frame_bytes
+    )
+
+
+def test_stream_frame_count_and_key_placement():
+    stream = VideoStream(VIDEO_720P, duration_s=10.0)
+    frames = list(stream.frames())
+    assert len(frames) == 300
+    keys = [f.index for f in frames if f.is_key]
+    assert keys == [0, 60, 120, 180, 240]
+
+
+def test_stream_timestamps_are_uniform():
+    stream = VideoStream(VIDEO_720P, duration_s=1.0)
+    frames = list(stream.frames())
+    assert frames[1].timestamp_s - frames[0].timestamp_s == pytest.approx(1 / 30)
+
+
+def test_stream_duration_validation():
+    with pytest.raises(ValueError):
+        VideoStream(VIDEO_720P, duration_s=0.0)
+
+
+def test_packetizer_splits_at_mtu():
+    packetizer = RtpPacketizer(mtu=1000)
+    packets = packetizer.packetize(0, 2500)
+    assert [p.payload_bytes for p in packets] == [1000, 1000, 500]
+    assert [p.marker for p in packets] == [False, False, True]
+
+
+def test_packetizer_sequence_is_monotonic_across_frames():
+    packetizer = RtpPacketizer(mtu=1000)
+    first = packetizer.packetize(0, 1500)
+    second = packetizer.packetize(1, 500)
+    sequences = [p.sequence for p in first + second]
+    assert sequences == list(range(len(sequences)))
+
+
+def test_packetizer_tiny_frame_gets_one_packet():
+    packets = RtpPacketizer().packetize(0, 10)
+    assert len(packets) == 1 and packets[0].marker
+
+
+def test_packetizer_validation():
+    with pytest.raises(ValueError):
+        RtpPacketizer(mtu=0)
+    with pytest.raises(ValueError):
+        RtpPacketizer().packetize(0, -5)
+
+
+def _frames(profile=VIDEO_720P, duration=4.0):
+    return list(VideoStream(profile, duration).frames())
+
+
+def test_accounting_no_loss():
+    acc = FrameLossAccounting()
+    for frame in _frames():
+        acc.record_frame(frame, [True] * 5)
+    assert acc.packet_loss_rate == 0.0
+    assert acc.frame_loss_rate == 0.0
+
+
+def test_accounting_direct_frame_loss():
+    acc = FrameLossAccounting()
+    frames = _frames(duration=2.0)  # one GOP of 60 frames
+    for frame in frames:
+        # Lose one packet of frame 5 only (a P frame).
+        results = [True] * 5 if frame.index != 5 else [True, False, True, True, True]
+        acc.record_frame(frame, results)
+    assert acc.frame_loss_rate == pytest.approx(1 / 60)
+    assert acc.packet_loss_rate == pytest.approx(1 / 300)
+
+
+def test_accounting_key_frame_loss_kills_whole_gop():
+    """The paper's counting policy: key frame lost => all GOP frames lost."""
+    acc = FrameLossAccounting()
+    frames = _frames(duration=4.0)  # two GOPs
+    for frame in frames:
+        lost_key = frame.is_key and frame.gop_index == 0
+        results = [not lost_key] * 5
+        acc.record_frame(frame, results)
+    # First GOP entirely lost, second intact.
+    assert acc.frame_loss_rate == pytest.approx(0.5)
+    # Packet loss only counts the actually-lost packets.
+    assert acc.packet_loss_rate == pytest.approx(5 / (120 * 5))
+
+
+def test_accounting_frame_loss_never_below_its_direct_share():
+    acc = FrameLossAccounting()
+    frames = _frames(duration=2.0)
+    for frame in frames:
+        acc.record_frame(frame, [frame.index % 7 != 0])
+    direct = sum(1 for f in frames if f.index % 7 == 0) / len(frames)
+    assert acc.frame_loss_rate >= direct
+
+
+def test_accounting_empty_is_zero():
+    acc = FrameLossAccounting()
+    assert acc.packet_loss_rate == 0.0
+    assert acc.frame_loss_rate == 0.0

@@ -1,0 +1,172 @@
+"""Tests for Deep Compression and transfer learning."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    deep_compress,
+    freeze_masks,
+    kmeans_1d,
+    make_mlp,
+    measure,
+    prune,
+    quantize,
+    train_classifier,
+    transfer_learn,
+    SGD,
+)
+
+
+def blob_data(centers, n_per=60, seed=0, scale=0.4):
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for label, c in enumerate(centers):
+        xs.append(rng.normal(loc=c, scale=scale, size=(n_per, len(c))))
+        ys.append(np.full(n_per, label))
+    return np.vstack(xs), np.concatenate(ys)
+
+
+def trained_net(seed=0):
+    """An 8-feature classifier big enough that codebooks don't dominate."""
+    pad = [0.0] * 6
+    x, y = blob_data([[-2.0, 0.0, *pad], [2.0, 0.0, *pad]], seed=seed)
+    net = make_mlp(8, (64,), 2, seed=seed)
+    train_classifier(net, x, y, epochs=20, optimizer=SGD(lr=0.1),
+                     rng=np.random.default_rng(seed))
+    return net, x, y
+
+
+def test_prune_achieves_requested_sparsity():
+    net, _, _ = trained_net()
+    prune(net, sparsity=0.5)
+    weights = [arr for _, name, arr in net.parameters() if name == "W"]
+    for w in weights:
+        zero_frac = (w == 0).mean()
+        assert zero_frac == pytest.approx(0.5, abs=0.1)
+
+
+def test_prune_zero_sparsity_is_noop():
+    net, _, _ = trained_net()
+    before = net.get_weights()
+    prune(net, sparsity=0.0)
+    for a, b in zip(before, net.get_weights()):
+        assert np.array_equal(a, b)
+
+
+def test_prune_validation():
+    net, _, _ = trained_net()
+    with pytest.raises(ValueError):
+        prune(net, sparsity=1.0)
+
+
+def test_prune_keeps_largest_magnitudes():
+    net, _, _ = trained_net()
+    dense = [l for l in net.layers if l.params][0]
+    flat_before = np.abs(dense.W.copy().ravel())
+    prune(net, sparsity=0.75)
+    surviving = np.abs(dense.W.ravel())
+    kept = surviving[surviving > 0]
+    # Every kept weight is at least as large as the smallest pruned one.
+    assert kept.min() >= np.partition(flat_before, len(flat_before) // 4)[0]
+
+
+def test_masked_retraining_preserves_sparsity():
+    net, x, y = trained_net()
+    masks = prune(net, sparsity=0.6)
+    train_classifier(net, x, y, epochs=5, masks=masks,
+                     rng=np.random.default_rng(1))
+    for _, name, arr in net.parameters():
+        if name == "W":
+            assert (arr == 0).mean() >= 0.5
+
+
+def test_kmeans_1d_recovers_two_clusters():
+    values = np.array([0.0, 0.1, -0.1, 5.0, 5.1, 4.9])
+    centroids, assignment = kmeans_1d(values, k=2)
+    assert sorted(np.round(centroids, 1)) == [0.0, 5.0]
+    assert len(set(assignment[:3])) == 1
+    assert len(set(assignment[3:])) == 1
+
+
+def test_kmeans_1d_edge_cases():
+    c, a = kmeans_1d(np.zeros(0), k=4)
+    assert c.size == 0 and a.size == 0
+    c, a = kmeans_1d(np.array([2.0, 2.0]), k=4)
+    assert c.size == 1 and c[0] == 2.0
+    with pytest.raises(ValueError):
+        kmeans_1d(np.array([1.0]), k=0)
+
+
+def test_quantize_limits_distinct_values():
+    net, _, _ = trained_net()
+    quantize(net, bits=3)
+    for _, name, arr in net.parameters():
+        if name == "W":
+            distinct = np.unique(arr[arr != 0.0])
+            assert len(distinct) <= 8
+
+
+def test_quantize_validation():
+    net, _, _ = trained_net()
+    with pytest.raises(ValueError):
+        quantize(net, bits=0)
+
+
+def test_deep_compress_shrinks_size_and_keeps_accuracy():
+    net, x, y = trained_net()
+    base_accuracy = net.accuracy(x, y)
+    report = deep_compress(net, x, y, sparsity=0.6, bits=5, finetune_epochs=5,
+                           rng=np.random.default_rng(0))
+    assert report.compression_ratio > 3.0
+    assert report.sparsity == pytest.approx(0.6, abs=0.1)
+    # Compression must not destroy the model (paper: compressed models
+    # "run smoothly on the edge node").
+    assert net.accuracy(x, y) >= base_accuracy - 0.05
+
+
+def test_measure_dense_network():
+    net = make_mlp(2, (16,), 2)
+    report = measure(net, bits=32)
+    assert report.total_weights == 2 * 16 + 16 * 2
+    assert report.sparsity == 0.0
+    assert report.original_bytes == net.size_bytes()
+
+
+def test_freeze_masks_validation():
+    net = make_mlp(2, (8, 8), 2)
+    with pytest.raises(ValueError):
+        freeze_masks(net, trainable_layers=0)
+    with pytest.raises(ValueError):
+        freeze_masks(net, trainable_layers=10)
+
+
+def test_transfer_learn_freezes_features_and_adapts_head():
+    # Common task: separate along x-axis. Personal task: along y-axis-shifted
+    # clusters that share the feature space.
+    x_common, y_common = blob_data([[-2, 0], [2, 0]], seed=0)
+    net = make_mlp(2, (16,), 2, seed=0)
+    train_classifier(net, x_common, y_common, epochs=20, optimizer=SGD(lr=0.1),
+                     rng=np.random.default_rng(0))
+    feature_layer = [l for l in net.layers if l.params][0]
+    frozen_before = feature_layer.W.copy()
+
+    x_personal, y_personal = blob_data([[-2, 1], [2, -1]], seed=5)
+    result = transfer_learn(net, x_personal, y_personal, trainable_layers=1,
+                            epochs=20, lr=0.1, rng=np.random.default_rng(1))
+    assert np.array_equal(feature_layer.W, frozen_before)
+    assert result.train_accuracy > 0.9
+
+
+def test_transfer_learn_personalization_beats_common_model():
+    """The pBEAM claim: a transferred model fits the personal driver better
+    than the raw common model."""
+    x_common, y_common = blob_data([[-2, 0], [2, 0]], seed=0)
+    net = make_mlp(2, (16,), 2, seed=0)
+    train_classifier(net, x_common, y_common, epochs=20, optimizer=SGD(lr=0.1),
+                     rng=np.random.default_rng(0))
+    # Personal distribution: decision boundary rotated; common model is poor.
+    x_personal, y_personal = blob_data([[0, -2], [0, 2]], seed=7)
+    common_accuracy = net.accuracy(x_personal, y_personal)
+    transfer_learn(net, x_personal, y_personal, trainable_layers=1,
+                   epochs=30, lr=0.1, rng=np.random.default_rng(2))
+    assert net.accuracy(x_personal, y_personal) > common_accuracy

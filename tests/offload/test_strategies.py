@@ -1,0 +1,127 @@
+"""Tests for offloading strategies."""
+
+import pytest
+
+from repro.hw import WorkloadClass
+from repro.offload import (
+    CloudOnly,
+    DynamicVDAP,
+    EdgeOnly,
+    Exhaustive,
+    Greedy,
+    LocalOnly,
+    Task,
+    TaskGraph,
+)
+from repro.topology import Tier, build_default_world
+
+
+def plate_graph(frame_bytes=1_000_000):
+    return TaskGraph.chain(
+        "plate",
+        [
+            Task("motion", 0.05, WorkloadClass.VISION, output_bytes=200_000,
+                 source_bytes=frame_bytes),
+            Task("detect", 5.0, WorkloadClass.DNN, output_bytes=20_000),
+            Task("recognize", 2.0, WorkloadClass.DNN, output_bytes=100),
+        ],
+    )
+
+
+@pytest.fixture
+def world():
+    return build_default_world()
+
+
+def test_uniform_strategies_place_everything_on_their_tier(world):
+    graph = plate_graph()
+    for strategy, tier in (
+        (LocalOnly(), Tier.VEHICLE),
+        (CloudOnly(), Tier.CLOUD),
+        (EdgeOnly(), Tier.EDGE),
+    ):
+        decision = strategy.decide(graph, world)
+        assert set(decision.placement.assignment.values()) == {tier}
+        assert decision.evaluation.feasible
+
+
+def test_exhaustive_beats_or_matches_all_baselines(world):
+    graph = plate_graph()
+    best = Exhaustive().decide(graph, world).evaluation.latency_s
+    for strategy in (LocalOnly(), CloudOnly(), EdgeOnly(), Greedy()):
+        assert best <= strategy.decide(graph, world).evaluation.latency_s + 1e-12
+
+
+def test_exhaustive_task_limit():
+    graph = TaskGraph("big")
+    for i in range(12):
+        graph.add_task(Task(f"t{i}", 1.0, WorkloadClass.DNN))
+    with pytest.raises(ValueError):
+        Exhaustive(max_tasks=10).decide(graph, build_default_world())
+
+
+def test_greedy_is_feasible_and_reasonable(world):
+    graph = plate_graph()
+    decision = Greedy().decide(graph, world)
+    assert decision.evaluation.feasible
+    local = LocalOnly().decide(graph, world).evaluation.latency_s
+    assert decision.evaluation.latency_s <= local + 1e-12
+
+
+def test_dynamic_vdap_picks_cheapest_placement_meeting_deadline(world):
+    graph = plate_graph()
+    # Generous deadline: local execution qualifies, which uses zero uplink.
+    decision = DynamicVDAP().decide(graph, world, deadline_s=60.0)
+    assert decision.meets_deadline
+    assert decision.evaluation.uplink_bytes == 0.0
+
+
+def test_dynamic_vdap_tightened_deadline_forces_offload(world):
+    # Make local execution slow: strip the vehicle down to a weak CPU.
+    from repro.hw import ProcessorKind, ProcessorModel
+
+    weak = ProcessorModel(
+        name="weak-ecu", kind=ProcessorKind.CPU, peak_gops=5.0, tdp_watts=5.0
+    )
+    slow_world = build_default_world(vehicle_processors=[weak])
+    graph = plate_graph()
+    local_latency = LocalOnly().decide(graph, slow_world).evaluation.latency_s
+    decision = DynamicVDAP().decide(graph, slow_world, deadline_s=local_latency / 4)
+    assert decision.meets_deadline
+    # Some tasks must have left the vehicle.
+    tiers = set(decision.placement.assignment.values())
+    assert tiers != {Tier.VEHICLE}
+
+
+def test_dynamic_vdap_impossible_deadline_flags_miss(world):
+    graph = plate_graph()
+    decision = DynamicVDAP().decide(graph, world, deadline_s=1e-9)
+    assert not decision.meets_deadline
+    # Falls back to the latency-optimal placement.
+    best = Exhaustive().decide(graph, world).evaluation.latency_s
+    assert decision.evaluation.latency_s == pytest.approx(best)
+
+
+def test_dynamic_vdap_no_deadline_returns_latency_optimal(world):
+    graph = plate_graph()
+    decision = DynamicVDAP().decide(graph, world, deadline_s=None)
+    best = Exhaustive().decide(graph, world).evaluation.latency_s
+    assert decision.evaluation.latency_s == pytest.approx(best)
+
+
+def test_paper_architecture_ordering_for_heavy_dnn(world):
+    """SIII: for a heavy DNN workload on realistic links, the edge beats
+    both in-vehicle-only and cloud-only architectures."""
+    graph = TaskGraph.chain(
+        "heavy",
+        [
+            Task("preprocess", 0.02, WorkloadClass.VISION, output_bytes=300_000,
+                 source_bytes=2_000_000),
+            Task("inference", 30.0, WorkloadClass.DNN, output_bytes=1_000),
+        ],
+    )
+    local = LocalOnly().decide(graph, world).evaluation.latency_s
+    cloud = CloudOnly().decide(graph, world).evaluation.latency_s
+    edge = DynamicVDAP().decide(graph, world).evaluation.latency_s
+    assert edge < local
+    assert edge < cloud

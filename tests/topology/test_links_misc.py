@@ -1,0 +1,81 @@
+"""Remaining surface: LinkTable V2V, world peers, misc model edges."""
+
+import pytest
+
+from repro.hw import catalog
+from repro.libvdap.models import CompressedVariant, ModelEntry
+from repro.nn import MOBILENET_V1
+from repro.topology import (
+    LinkTable,
+    Tier,
+    Vehicle,
+    build_default_world,
+    link_from_preset,
+)
+from repro.net.params import DSRC_PARAMS, WIFI_PARAMS, BACKHAUL_PARAMS
+
+
+def test_link_table_vehicle_to_vehicle():
+    table = LinkTable(
+        vehicle_edge=link_from_preset(DSRC_PARAMS),
+        vehicle_cloud=link_from_preset(WIFI_PARAMS),
+        edge_cloud=link_from_preset(BACKHAUL_PARAMS),
+        vehicle_vehicle=link_from_preset(WIFI_PARAMS),
+    )
+    v2v = table.between(Tier.VEHICLE, Tier.VEHICLE)
+    assert v2v.name == "wifi"
+
+
+def test_link_table_missing_v2v_raises():
+    table = LinkTable(
+        vehicle_edge=link_from_preset(DSRC_PARAMS),
+        vehicle_cloud=link_from_preset(WIFI_PARAMS),
+        edge_cloud=link_from_preset(BACKHAUL_PARAMS),
+    )
+    with pytest.raises(KeyError):
+        table.between(Tier.VEHICLE, Tier.VEHICLE)
+
+
+def test_link_table_is_symmetric():
+    world = build_default_world()
+    ab = world.links.between(Tier.VEHICLE, Tier.EDGE)
+    ba = world.links.between(Tier.EDGE, Tier.VEHICLE)
+    assert ab is ba
+
+
+def test_world_peers_default_empty():
+    world = build_default_world()
+    assert world.peers == []
+    world.peers.append(Vehicle(name="cav-1"))
+    assert len(world.peers) == 1
+
+
+def test_default_world_v2v_link_present():
+    world = build_default_world()
+    assert world.links.between(Tier.VEHICLE, Tier.VEHICLE).name == "wifi"
+
+
+def test_compressed_variant_accuracy_metadata():
+    variant = CompressedVariant(base=MOBILENET_V1, size_ratio=8.0,
+                                flop_ratio=2.0, accuracy_drop=0.015)
+    assert variant.size_bytes == pytest.approx(MOBILENET_V1.size_bytes / 8.0)
+    assert variant.forward_gflops == pytest.approx(
+        MOBILENET_V1.forward_gflops / 2.0
+    )
+    assert variant.accuracy_drop == 0.015
+
+
+def test_model_entry_fits_full_vs_compressed():
+    mncs = catalog.intel_mncs()  # 0.5 GB
+    entry = ModelEntry(
+        name="custom", category="video", full=MOBILENET_V1,
+        compressed=CompressedVariant(base=MOBILENET_V1),
+    )
+    assert entry.fits_on(mncs, compressed=True)
+    assert entry.fits_on(mncs, compressed=False)  # mobilenet is small anyway
+
+
+def test_figure3_device_factories_fresh_instances():
+    a = catalog.tesla_v100()
+    b = catalog.tesla_v100()
+    assert a is not b and a.name == b.name

@@ -1,0 +1,162 @@
+"""Tests for mHEP device management and DSF scheduling."""
+
+import pytest
+
+from repro.hw import WorkloadClass, catalog
+from repro.offload import Task, TaskGraph
+from repro.sim import Simulator
+from repro.vcu import DSF, FIRST_LEVEL, MHEP, SECOND_LEVEL, ApplicationProfile, QoSClass
+
+
+def platform():
+    sim = Simulator()
+    mhep = MHEP(sim)
+    mhep.register(catalog.intel_i7_6700(), level=FIRST_LEVEL)
+    mhep.register(catalog.jetson_tx2_maxp(), level=FIRST_LEVEL)
+    return sim, mhep, DSF(sim, mhep)
+
+
+def dnn_job(name="job", gops=10.0):
+    return TaskGraph.chain(name, [Task(f"{name}-t", gops, WorkloadClass.DNN)])
+
+
+def test_register_levels_and_duplicates():
+    sim = Simulator()
+    mhep = MHEP(sim)
+    mhep.register(catalog.intel_mncs(), level=FIRST_LEVEL)
+    with pytest.raises(ValueError):
+        mhep.register(catalog.intel_mncs())
+    with pytest.raises(ValueError):
+        mhep.register(catalog.passenger_phone(), level=3)
+
+
+def test_unregister_marks_offline():
+    sim = Simulator()
+    mhep = MHEP(sim)
+    mhep.register(catalog.passenger_phone(), level=SECOND_LEVEL)
+    assert len(mhep.online_devices) == 1
+    mhep.unregister("Passenger phone")
+    assert mhep.online_devices == []
+    with pytest.raises(KeyError):
+        mhep.unregister("Passenger phone")
+
+
+def test_devices_for_workload_filters_capability():
+    sim, mhep, _dsf = platform()
+    dnn = {d.name for d in mhep.devices_for(WorkloadClass.DNN)}
+    assert dnn == {"Intel i7-6700", "Jetson TX2 Max-P"}
+
+
+def test_profiles_expose_dynamic_state():
+    sim, mhep, dsf = platform()
+    profiles = mhep.profiles()
+    assert profiles["Intel i7-6700"]["queue_length"] == 0
+    assert profiles["Jetson TX2 Max-P"]["peak_gops"] == 1330.0
+
+
+def test_dsf_runs_job_and_records_latency():
+    sim, mhep, dsf = platform()
+    proc = dsf.submit(dnn_job(gops=99.75))  # exactly 1 s on the TX2 Max-P
+    sim.run()
+    result = proc.value
+    # The GPU is the fastest DNN device: 99.75 / (1330 * 0.075) = 1.0 s.
+    assert result.latency_s == pytest.approx(1.0)
+    assert result.task_devices["job-t"] == "Jetson TX2 Max-P"
+
+
+def test_dsf_respects_dependencies():
+    sim, mhep, dsf = platform()
+    graph = TaskGraph("dag")
+    graph.add_task(Task("a", 99.75, WorkloadClass.DNN))
+    graph.add_task(Task("b", 99.75, WorkloadClass.DNN))
+    graph.add_edge("a", "b")
+    proc = dsf.submit(graph)
+    sim.run()
+    result = proc.value
+    assert result.task_finish["b"] > result.task_finish["a"]
+    assert result.latency_s == pytest.approx(2.0)
+
+
+def test_dsf_spreads_parallel_tasks_across_devices():
+    sim, mhep, dsf = platform()
+    graph = TaskGraph("parallel")
+    for i in range(2):
+        graph.add_task(Task(f"t{i}", 50.0, WorkloadClass.DNN))
+    proc = dsf.submit(graph)
+    sim.run()
+    devices = set(proc.value.task_devices.values())
+    # With the GPU busy, the second task should land on the CPU.
+    assert len(devices) == 2
+
+
+def test_dsf_queues_when_single_device():
+    sim = Simulator()
+    mhep = MHEP(sim)
+    mhep.register(catalog.jetson_tx2_maxp())
+    dsf = DSF(sim, mhep)
+    p1 = dsf.submit(dnn_job("j1", gops=99.75))
+    p2 = dsf.submit(dnn_job("j2", gops=99.75))
+    sim.run()
+    finishes = sorted([p1.value.finished_at, p2.value.finished_at])
+    assert finishes == pytest.approx([1.0, 2.0])
+
+
+def test_dsf_no_capable_device_fails_job():
+    sim = Simulator()
+    mhep = MHEP(sim)
+    mhep.register(catalog.jetson_tx2_maxp())  # GPUs can't run CONTROL... they can barely
+    dsf = DSF(sim, mhep)
+    # ASIC supports nothing but DNN-ish classes; craft an impossible task by
+    # removing all devices.
+    mhep.unregister("Jetson TX2 Max-P")
+    proc = dsf.submit(dnn_job())
+    sim.run()
+    assert proc.triggered and not proc.ok
+
+
+def test_dsf_energy_accounting():
+    sim, mhep, dsf = platform()
+    dsf.submit(dnn_job(gops=99.75))
+    sim.run()
+    # 1 s on the TX2 Max-P at 15 W.
+    assert dsf.energy.busy_joules("Jetson TX2 Max-P") == pytest.approx(15.0)
+
+
+def test_dsf_device_utilization_tracked():
+    sim, mhep, dsf = platform()
+    dsf.submit(dnn_job(gops=99.75))
+    sim.run()
+    gpu = mhep.device("Jetson TX2 Max-P")
+    assert gpu.busy_seconds == pytest.approx(1.0)
+    assert gpu.tasks_completed == 1
+    assert gpu.utilization(sim.now) == pytest.approx(1.0)
+
+
+def test_second_hep_join_speeds_up_backlog():
+    """Plug-and-play: a passenger phone relieves a weak on-board controller."""
+
+    def run(with_phone: bool) -> float:
+        sim = Simulator()
+        mhep = MHEP(sim)
+        mhep.register(catalog.onboard_controller())
+        if with_phone:
+            mhep.register(catalog.passenger_phone(), level=SECOND_LEVEL)
+        dsf = DSF(sim, mhep)
+        procs = [dsf.submit(dnn_job(f"j{i}", gops=20.0)) for i in range(6)]
+        sim.run()
+        return max(p.value.finished_at for p in procs)
+
+    assert run(with_phone=True) < run(with_phone=False)
+
+
+def test_application_profile_validation():
+    factory = lambda: dnn_job()
+    with pytest.raises(ValueError):
+        ApplicationProfile("x", qos=9, deadline_s=1.0, graph_factory=factory)
+    with pytest.raises(ValueError):
+        ApplicationProfile("x", qos=QoSClass.INTERACTIVE, deadline_s=0.0,
+                           graph_factory=factory)
+    profile = ApplicationProfile(
+        "adas", qos=QoSClass.SAFETY_CRITICAL, deadline_s=0.1, graph_factory=factory
+    )
+    assert profile.priority == 0

@@ -1,0 +1,51 @@
+"""Tests for detector evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.vision import (
+    Detection,
+    DetectionMetrics,
+    background_patch,
+    box_iou,
+    evaluate_detector,
+    train_haar_detector,
+    vehicle_patch,
+)
+
+
+def test_metrics_formulas():
+    metrics = DetectionMetrics(true_positives=8, false_positives=2,
+                               false_negatives=2, scenes=10)
+    assert metrics.precision == pytest.approx(0.8)
+    assert metrics.recall == pytest.approx(0.8)
+    assert metrics.f1 == pytest.approx(0.8)
+
+
+def test_metrics_degenerate_cases():
+    empty = DetectionMetrics(0, 0, 0, 0)
+    assert empty.precision == 0.0 and empty.recall == 0.0 and empty.f1 == 0.0
+
+
+def test_box_iou_perfect_and_none():
+    detection = Detection(x=10, y=10, size=20, score=1.0)
+    assert box_iou(detection, (10, 10, 20, 20)) == pytest.approx(1.0)
+    assert box_iou(detection, (100, 100, 20, 20)) == 0.0
+
+
+def test_box_iou_partial():
+    detection = Detection(x=0, y=0, size=10, score=1.0)
+    # Ground truth shifted by half: intersection 50, union 150.
+    assert box_iou(detection, (5, 0, 10, 10)) == pytest.approx(1 / 3)
+
+
+def test_trained_detector_beats_random_guesser():
+    rng = np.random.default_rng(0)
+    positives = [vehicle_patch(24, rng) for _ in range(50)]
+    negatives = [background_patch(24, rng) for _ in range(50)]
+    trained = train_haar_detector(positives, negatives, rounds=12, rng=rng)
+    metrics = evaluate_detector(trained, scenes=8, rng=np.random.default_rng(1))
+    assert metrics.recall > 0.5
+    assert metrics.scenes == 8
+    # The evaluation accounts every ground-truth vehicle exactly once.
+    assert metrics.true_positives + metrics.false_negatives == 8

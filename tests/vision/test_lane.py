@@ -1,0 +1,93 @@
+"""Tests for the lane-detection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.vision import detect_lanes, gaussian_blur, hough_lines, road_scene, sobel_edges
+
+
+def test_gaussian_blur_smooths_noise():
+    rng = np.random.default_rng(0)
+    img = rng.normal(0.5, 0.2, size=(50, 50))
+    blurred, ops = gaussian_blur(img)
+    assert blurred.std() < img.std()
+    assert ops == img.size * 2 * 9
+
+
+def test_gaussian_blur_preserves_constant_image():
+    img = np.full((20, 20), 0.5)
+    blurred, _ = gaussian_blur(img)
+    assert np.allclose(blurred, 0.5)
+
+
+def test_gaussian_blur_validation():
+    with pytest.raises(ValueError):
+        gaussian_blur(np.zeros((5, 5)), kernel=4)
+
+
+def test_sobel_finds_vertical_edge():
+    img = np.zeros((20, 20))
+    img[:, 10:] = 1.0
+    edges, ops = sobel_edges(img)
+    ys, xs = np.nonzero(edges)
+    assert set(xs) <= {9, 10}
+    assert ops == 20 * 20 * 38
+
+
+def test_sobel_rejects_non_2d():
+    with pytest.raises(ValueError):
+        sobel_edges(np.zeros((3, 3, 3)))
+
+
+def test_hough_recovers_vertical_line():
+    edges = np.zeros((50, 50), dtype=bool)
+    edges[:, 25] = True
+    lines, _ops = hough_lines(edges, min_votes=20)
+    assert lines
+    theta, rho = lines[0]
+    # Vertical line: theta ~ 0, rho ~ 25.
+    assert abs(theta) < 0.05
+    assert rho == pytest.approx(25, abs=2.5)
+
+
+def test_hough_empty_edges_returns_nothing():
+    lines, ops = hough_lines(np.zeros((20, 20), dtype=bool))
+    assert lines == [] and ops == 0
+
+
+def test_hough_op_count_scales_with_edges():
+    edges = np.zeros((50, 50), dtype=bool)
+    edges[:, 25] = True
+    _lines, ops = hough_lines(edges, theta_bins=360)
+    assert ops == 50 * 360 * 5
+
+
+def test_detect_lanes_finds_both_lines_on_scene():
+    img, truth = road_scene(rng=np.random.default_rng(1), vehicle_count=0)
+    result = detect_lanes(img)
+    assert result.found_both_lanes
+    thetas = sorted(theta for theta, _rho in result.lines)
+    # One left-leaning and one right-leaning boundary.
+    assert thetas[0] < 0 < thetas[1]
+
+
+def test_detect_lanes_reports_positive_ops():
+    img, _ = road_scene(rng=np.random.default_rng(2))
+    result = detect_lanes(img)
+    assert result.ops > 1e6
+    assert result.edge_count > 0
+
+
+def test_detect_lanes_validation():
+    img, _ = road_scene(rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        detect_lanes(img, horizon_fraction=1.0)
+
+
+def test_detect_lanes_robust_across_seeds():
+    found = 0
+    for seed in range(6):
+        img, _ = road_scene(rng=np.random.default_rng(seed), vehicle_count=0)
+        if detect_lanes(img).found_both_lanes:
+            found += 1
+    assert found >= 5

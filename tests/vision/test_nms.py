@@ -1,0 +1,70 @@
+"""Tests for detection IoU and non-max suppression."""
+
+import pytest
+
+from repro.vision import Detection, non_max_suppression
+
+
+def det(x, y, size=24, score=1.0):
+    return Detection(x=x, y=y, size=size, score=score)
+
+
+def test_iou_identical_boxes():
+    assert det(0, 0).iou(det(0, 0)) == pytest.approx(1.0)
+
+
+def test_iou_disjoint_boxes():
+    assert det(0, 0, 10).iou(det(100, 100, 10)) == 0.0
+
+
+def test_iou_half_overlap():
+    a, b = det(0, 0, 10), det(5, 0, 10)
+    # Intersection 50, union 150.
+    assert a.iou(b) == pytest.approx(1 / 3)
+
+
+def test_nms_collapses_cluster_to_best():
+    cluster = [det(0, 0, 24, 0.9), det(2, 1, 24, 0.8), det(1, 2, 24, 0.7)]
+    kept = non_max_suppression(cluster)
+    assert len(kept) == 1
+    assert kept[0].score == 0.9
+
+
+def test_nms_keeps_separate_objects():
+    detections = [det(0, 0, 24, 0.9), det(200, 200, 24, 0.8)]
+    kept = non_max_suppression(detections)
+    assert len(kept) == 2
+
+
+def test_nms_order_is_by_score():
+    detections = [det(200, 200, 24, 0.95), det(0, 0, 24, 0.5)]
+    kept = non_max_suppression(detections)
+    assert [d.score for d in kept] == [0.95, 0.5]
+
+
+def test_nms_threshold_validation_and_empty():
+    with pytest.raises(ValueError):
+        non_max_suppression([], iou_threshold=2.0)
+    assert non_max_suppression([]) == []
+
+
+def test_nms_reduces_sliding_window_blowup():
+    """On a real scan, NMS cuts the raw hit count drastically."""
+    import numpy as np
+
+    from repro.vision import (
+        background_patch,
+        road_scene,
+        train_haar_detector,
+        vehicle_patch,
+    )
+
+    rng = np.random.default_rng(3)
+    positives = [vehicle_patch(24, rng) for _ in range(50)]
+    negatives = [background_patch(24, rng) for _ in range(50)]
+    detector = train_haar_detector(positives, negatives, rounds=12, rng=rng)
+    img, _truth = road_scene(width=160, height=120, rng=rng, vehicle_count=1)
+    raw, _ops = detector.detect(img, step=4)
+    if len(raw) > 3:
+        kept = non_max_suppression(raw)
+        assert len(kept) < len(raw) / 2

@@ -1,0 +1,98 @@
+"""Tests for the plate OCR substrate and its AMBER integration."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AmberSearchService, PlateSighting
+from repro.vision.ocr import (
+    FONT,
+    plate_quality_to_noise,
+    read_plate,
+    render_plate,
+)
+
+
+def test_font_covers_alphanumerics_and_dash():
+    for char in "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-":
+        assert char in FONT
+        assert FONT[char].shape == (7, 5)
+
+
+def test_font_glyphs_are_distinct():
+    glyphs = {char: tuple(arr.ravel()) for char, arr in FONT.items()}
+    assert len(set(glyphs.values())) == len(glyphs)
+
+
+def test_clean_render_reads_back_exactly():
+    for text in ("AMBER-911", "XYZ-0042", "Q7W-PLUS"):
+        assert read_plate(render_plate(text)) == text
+
+
+def test_render_validation():
+    with pytest.raises(ValueError):
+        render_plate("hello!")  # '!' unsupported
+    with pytest.raises(ValueError):
+        render_plate("ABC", noise=-0.1)
+
+
+def test_read_validation():
+    with pytest.raises(ValueError):
+        read_plate(np.zeros((4, 10)))
+
+
+def test_low_noise_robust_high_noise_fails():
+    rng = np.random.default_rng(1)
+    clean = render_plate("KIDNAP-1", noise=0.15, rng=rng)
+    assert read_plate(clean) == "KIDNAP-1"
+    misread = 0
+    for i in range(30):
+        noisy = render_plate("KIDNAP-1", noise=0.8, rng=np.random.default_rng(i))
+        misread += read_plate(noisy) != "KIDNAP-1"
+    assert misread > 15
+
+
+def test_quality_noise_mapping():
+    assert plate_quality_to_noise(1.0) == 0.0
+    assert plate_quality_to_noise(0.0) == pytest.approx(0.9)
+    with pytest.raises(ValueError):
+        plate_quality_to_noise(1.5)
+
+
+def test_accuracy_degrades_monotonically_with_quality():
+    def read_rate(quality):
+        noise = plate_quality_to_noise(quality)
+        ok = 0
+        for i in range(40):
+            img = render_plate("AMBER-911", noise=noise,
+                               rng=np.random.default_rng(i))
+            ok += read_plate(img) == "AMBER-911"
+        return ok / 40
+
+    rates = [read_rate(q) for q in (0.9, 0.5, 0.2)]
+    assert rates[0] > 0.95
+    assert rates[0] >= rates[1] >= rates[2]
+    assert rates[2] < 0.3
+
+
+def test_amber_with_real_ocr_finds_good_sightings():
+    service = AmberSearchService(target_plate="AMBER-911", use_ocr=True)
+    crisp = PlateSighting(time_s=0.0, position_m=0.0, plate="AMBER-911", quality=0.95)
+    assert service.process(crisp) is not None
+
+
+def test_amber_with_real_ocr_misses_blurry_sightings():
+    service = AmberSearchService(target_plate="AMBER-911", use_ocr=True)
+    hits = 0
+    for i in range(20):
+        blurry = PlateSighting(time_s=float(i), position_m=0.0,
+                               plate="AMBER-911", quality=0.1)
+        hits += service.process(blurry) is not None
+    assert hits <= 2  # nearly always misread at quality 0.1
+
+
+def test_amber_ocr_never_false_alarms_on_clean_wrong_plates():
+    service = AmberSearchService(target_plate="AMBER-911", use_ocr=True)
+    for i in range(20):
+        other = PlateSighting(time_s=float(i), position_m=0.0,
+                              plate=f"XYZ-{i:04d}", quality=0.95)
+        assert service.process(other) is None
