@@ -12,6 +12,7 @@ A full-stack, simulation-backed reproduction of Zhang et al., ICDCS 2018:
 * :mod:`repro.edgeos` -- EdgeOSv: elastic management, security, privacy,
   data sharing
 * :mod:`repro.ddi` -- the driving data integrator
+* :mod:`repro.faults` -- deterministic fault injection + resilience primitives
 * :mod:`repro.libvdap` -- the open application library (models, pBEAM, API)
 * :mod:`repro.apps` -- the four in-vehicle service classes + V2V collab
 * :mod:`repro.workloads` / :mod:`repro.metrics` -- generators and reports
@@ -19,7 +20,7 @@ A full-stack, simulation-backed reproduction of Zhang et al., ICDCS 2018:
 
 __version__ = "1.0.0"
 
-from . import apps, ddi, edgeos, hw, libvdap, metrics, net, nn, offload, sim
+from . import apps, ddi, edgeos, faults, hw, libvdap, metrics, net, nn, offload, sim
 from . import scenario, topology, vcu, vision, workloads
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "apps",
     "ddi",
     "edgeos",
+    "faults",
     "hw",
     "libvdap",
     "metrics",

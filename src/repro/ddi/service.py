@@ -52,15 +52,27 @@ class DDIService:
         self._collectors: list[Collector] = []
         self.uploads = 0
         self.downloads = 0
+        self.dropped_samples = 0
 
     # -- collector integration --------------------------------------------------
 
     def attach_collector(self, collector: Collector) -> None:
         self._collectors.append(collector)
 
-    def collect_all(self, time_s: float) -> list[Record]:
-        """Poll every attached collector once and upload the records."""
-        records = [collector.sample(time_s) for collector in self._collectors]
+    def collect_all(self, time_s: float, faults=None) -> list[Record]:
+        """Poll every attached collector once and upload the records.
+
+        ``faults`` (a :class:`~repro.faults.injector.FaultInjector`) makes
+        dropouts observable: collectors inside a COLLECTOR_DROPOUT window
+        are skipped and counted in :attr:`dropped_samples` -- the stream
+        simply has a gap, exactly like a wedged sensor daemon.
+        """
+        records = []
+        for collector in self._collectors:
+            if faults is not None and faults.collector_down(collector.stream):
+                self.dropped_samples += 1
+                continue
+            records.append(collector.sample(time_s))
         for record in records:
             self.upload(record)
         return records

@@ -18,13 +18,18 @@ Two pieces:
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 
 from ..edgeos.privacy import LocationFuzzer
+from ..faults.resilience import CircuitBreaker
 from ..net.channel import LinkModel
 from .diskdb import DiskDB, Record
 
 __all__ = ["CloudDataServer", "UplinkMigrator", "MigrationStats"]
+
+#: File (inside the DiskDB root) holding the durable per-stream watermark.
+WATERMARK_FILE = "_uplink_watermark.json"
 
 
 class CloudDataServer:
@@ -70,10 +75,22 @@ class MigrationStats:
     transfer_seconds: float = 0.0
     batches: int = 0
     deferred_rounds: int = 0
+    failed_rounds: int = 0
+    breaker_deferred_rounds: int = 0
 
 
 class UplinkMigrator:
-    """Vehicle-side background migration with a resumable watermark."""
+    """Vehicle-side background migration with a resumable watermark.
+
+    Resilience: the per-stream watermark is *durable* (persisted inside the
+    DiskDB directory after every successful batch, reloaded on restart), a
+    batch's watermark only advances after the server acknowledged it, and
+    an optional :class:`~repro.faults.resilience.CircuitBreaker` stops the
+    migrator from hammering an unreachable cloud -- rounds short-circuit
+    while the breaker is open and a single probe batch re-tests the path
+    after the cooldown.  Because the cloud server deduplicates by record
+    key, a batch replayed after a mid-batch crash never double-counts.
+    """
 
     def __init__(
         self,
@@ -83,6 +100,8 @@ class UplinkMigrator:
         min_bandwidth_mbps: float = 2.0,
         batch_size: int = 100,
         fuzzer: LocationFuzzer | None = None,
+        breaker: CircuitBreaker | None = None,
+        durable: bool = True,
     ):
         if batch_size < 1:
             raise ValueError("batch size must be positive")
@@ -92,9 +111,36 @@ class UplinkMigrator:
         self.min_bandwidth_mbps = min_bandwidth_mbps
         self.batch_size = batch_size
         self.fuzzer = fuzzer
+        self.breaker = breaker
+        self.durable = durable
         # Watermark per stream: everything strictly before it has migrated.
         self._watermark: dict[str, float] = {stream: 0.0 for stream in streams}
+        if durable:
+            for stream, mark in self._load_watermarks().items():
+                if stream in self._watermark:
+                    self._watermark[stream] = mark
         self.stats = MigrationStats()
+
+    # -- durable watermark -------------------------------------------------
+
+    @property
+    def _watermark_path(self) -> str:
+        return os.path.join(self.disk.root, WATERMARK_FILE)
+
+    def _load_watermarks(self) -> dict[str, float]:
+        try:
+            with open(self._watermark_path, "r", encoding="utf-8") as fh:
+                return {str(k): float(v) for k, v in json.load(fh).items()}
+        except (FileNotFoundError, ValueError):
+            return {}
+
+    def _persist_watermarks(self) -> None:
+        if not self.durable:
+            return
+        tmp = self._watermark_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._watermark, fh, separators=(",", ":"))
+        os.replace(tmp, self._watermark_path)  # atomic: never a torn file
 
     def watermark(self, stream: str) -> float:
         return self._watermark[stream]
@@ -108,31 +154,61 @@ class UplinkMigrator:
         gx, gy = self.fuzzer.generalize(record.x_m, record.y_m)
         return Record(record.stream, record.timestamp, gx, gy, record.payload)
 
-    def run_round(self, now_s: float, link: LinkModel) -> int:
+    def run_round(
+        self, now_s: float, link: LinkModel, cloud_up: bool = True
+    ) -> int:
         """One migration opportunity: ship up to one batch per stream.
 
         Defers entirely when the link is below the bandwidth floor (the
-        cellular uplink is shared with latency-sensitive services).
-        Returns the number of records migrated this round.
+        cellular uplink is shared with latency-sensitive services), when
+        the circuit breaker is open, or when the cloud is unreachable
+        (``cloud_up=False``, e.g. from a fault plan's CLOUD_UNREACHABLE
+        window).  Returns the number of records migrated this round.
+
+        Crash-consistency: the watermark for a stream advances only after
+        the server acknowledged the whole batch, and is persisted before
+        the next stream ships -- a crash mid-batch re-ships that batch on
+        restart, and the server's dedup makes the replay idempotent.
         """
         if link.bandwidth_mbps < self.min_bandwidth_mbps:
             self.stats.deferred_rounds += 1
             return 0
+        if self.breaker is not None and not self.breaker.allow(now_s):
+            self.stats.breaker_deferred_rounds += 1
+            return 0
+        if not cloud_up:
+            self.stats.failed_rounds += 1
+            if self.breaker is not None:
+                self.breaker.record_failure(now_s)
+            return 0
         migrated = 0
-        for stream in self.streams:
-            batch = self.pending(stream, now_s)[: self.batch_size]
-            if not batch:
-                continue
-            shipped = [self._privatize(record) for record in batch]
-            nbytes = float(sum(len(r.to_json()) for r in shipped))
-            self.stats.transfer_seconds += link.transfer_time(nbytes)
-            self.stats.bytes_shipped += nbytes
-            self.server.ingest(shipped)
-            # Advance the watermark just past the last shipped record.
-            self._watermark[stream] = batch[-1].timestamp + 1e-9
-            migrated += len(batch)
-            self.stats.records_migrated += len(batch)
-            self.stats.batches += 1
+        try:
+            for stream in self.streams:
+                batch = self.pending(stream, now_s)[: self.batch_size]
+                if not batch:
+                    continue
+                shipped = [self._privatize(record) for record in batch]
+                nbytes = float(sum(len(r.to_json()) for r in shipped))
+                self.server.ingest(shipped)
+                # Acknowledged: only now account and advance the watermark
+                # just past the last shipped record.
+                self.stats.transfer_seconds += link.transfer_time(nbytes)
+                self.stats.bytes_shipped += nbytes
+                self._watermark[stream] = batch[-1].timestamp + 1e-9
+                self._persist_watermarks()
+                migrated += len(batch)
+                self.stats.records_migrated += len(batch)
+                self.stats.batches += 1
+        except Exception:
+            # The uplink died mid-batch; the watermark never advanced for
+            # the failed batch, so a restart re-ships it (dedup absorbs
+            # any records the server did receive before the crash).
+            self.stats.failed_rounds += 1
+            if self.breaker is not None:
+                self.breaker.record_failure(now_s)
+            raise
+        if self.breaker is not None and migrated:
+            self.breaker.record_success(now_s)
         return migrated
 
     def fully_migrated(self, now_s: float) -> bool:

@@ -8,10 +8,12 @@ from .privacy import LocationFuzzer, PseudonymManager
 from .security import AttestationError, Container, SecurityModule, TEEEnclave
 from .service import Pipeline, PolymorphicService, ServiceState
 from .sharing import AccessDenied, DataSharingBus, SharedRecord
+from .watchdog import ComponentHealth, HealthWatchdog
 
 __all__ = [
     "AccessDenied",
     "AttestationError",
+    "ComponentHealth",
     "Container",
     "DataSharingBus",
     "downward_closed_cuts",
@@ -25,6 +27,7 @@ __all__ = [
     "Rule",
     "GOAL_ENERGY",
     "GOAL_LATENCY",
+    "HealthWatchdog",
     "LocationFuzzer",
     "MigrationManager",
     "MigrationOffer",

@@ -14,6 +14,18 @@ every pipeline of every managed service against the current world (whose
 links the caller updates as network quality moves) and switches, hangs or
 resumes accordingly.  This module is where the DEIR *Differentiation*
 property lives -- each service is treated per its own QoS and deadline.
+
+Resilience extensions (paper SIII-A's unreliable environment):
+
+* **hysteresis** -- ``switch_margin`` keeps the current pipeline unless a
+  challenger beats it by a relative margin, so a link flapping around the
+  QoS threshold does not thrash the service between pipelines;
+* **degraded mode** -- ``degrade_before_hang`` falls back to the best
+  *feasible* pipeline (rather than hanging up) when nothing meets the
+  deadline, preferring stale-but-alive service for non-critical classes;
+* **health-aware failover** -- choices can consult a
+  :class:`~repro.edgeos.watchdog.HealthWatchdog`: pipelines that place
+  work on an unhealthy tier are excluded until that tier recovers.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from dataclasses import dataclass
 from ..offload.placement import PlacementEvaluation, evaluate_placement
 from ..topology.world import World
 from .service import Pipeline, PolymorphicService, ServiceState
+from .watchdog import HealthWatchdog
 
 __all__ = ["PipelineChoice", "ElasticManager"]
 
@@ -39,15 +52,31 @@ class PipelineChoice:
     evaluation: PlacementEvaluation | None
     switched: bool
     hung: bool
+    degraded: bool = False
 
 
 class ElasticManager:
-    """Manages every service on the vehicle (paper Figure 6)."""
+    """Manages every service on the vehicle (paper Figure 6).
 
-    def __init__(self, goal: str = GOAL_LATENCY):
+    ``switch_margin`` > 0 enables hysteresis (a challenger must improve the
+    incumbent's score by that relative fraction to force a switch);
+    ``degrade_before_hang`` enables the degraded-mode fallback.  Both
+    default off, preserving the paper's original hang-up semantics.
+    """
+
+    def __init__(
+        self,
+        goal: str = GOAL_LATENCY,
+        switch_margin: float = 0.0,
+        degrade_before_hang: bool = False,
+    ):
         if goal not in (GOAL_LATENCY, GOAL_ENERGY):
             raise ValueError(f"unknown goal {goal!r}")
+        if switch_margin < 0:
+            raise ValueError("switch_margin must be non-negative")
         self.goal = goal
+        self.switch_margin = switch_margin
+        self.degrade_before_hang = degrade_before_hang
         self._services: dict[str, PolymorphicService] = {}
         self.switch_log: list[PipelineChoice] = []
 
@@ -75,55 +104,116 @@ class ElasticManager:
             return (evaluation.vehicle_energy_j, evaluation.latency_s)
         return (evaluation.latency_s, evaluation.vehicle_energy_j)
 
+    @staticmethod
+    def _pipeline_healthy(pipeline: Pipeline, health: HealthWatchdog | None) -> bool:
+        if health is None:
+            return True
+        return all(health.tier_healthy(tier) for tier in pipeline.assignment.values())
+
     def evaluate_pipelines(
-        self, service: PolymorphicService, world: World
+        self,
+        service: PolymorphicService,
+        world: World,
+        health: HealthWatchdog | None = None,
     ) -> dict[str, PlacementEvaluation]:
-        """Cost of every pipeline of a service under current conditions."""
+        """Cost of every pipeline of a service under current conditions.
+
+        Pipelines placing work on a tier the watchdog marks unhealthy are
+        excluded entirely -- failover happens by scoring only survivors.
+        """
         graph = service.graph_factory()
         out = {}
         for pipeline in service.pipelines:
+            if not self._pipeline_healthy(pipeline, health):
+                continue
             out[pipeline.name] = evaluate_placement(graph, pipeline.placement(), world)
         return out
 
-    def choose(self, service: PolymorphicService, world: World) -> PipelineChoice:
-        """Pick the best pipeline meeting the deadline, or hang the service."""
-        evaluations = self.evaluate_pipelines(service, world)
+    def _pick(
+        self,
+        candidates: dict[str, PlacementEvaluation],
+        previous: str | None,
+    ) -> str:
+        """Best candidate, with hysteresis in favour of the incumbent."""
+        best_name = min(candidates, key=lambda n: self._score(candidates[n]))
+        if (
+            self.switch_margin > 0.0
+            and previous is not None
+            and previous in candidates
+            and best_name != previous
+        ):
+            best = self._score(candidates[best_name])[0]
+            incumbent = self._score(candidates[previous])[0]
+            # Keep the incumbent unless the challenger clears the margin.
+            if best > incumbent * (1.0 - self.switch_margin):
+                return previous
+        return best_name
+
+    def choose(
+        self,
+        service: PolymorphicService,
+        world: World,
+        health: HealthWatchdog | None = None,
+    ) -> PipelineChoice:
+        """Pick the best pipeline meeting the deadline, or degrade/hang."""
+        evaluations = self.evaluate_pipelines(service, world, health=health)
         feasible = {
             name: ev
             for name, ev in evaluations.items()
             if ev.feasible and ev.latency_s <= service.deadline_s
         }
         previous = service.active_pipeline
-        was_hung = service.state is ServiceState.HUNG
+        was_down = service.state in (ServiceState.HUNG, ServiceState.DEGRADED)
 
-        if not feasible:
-            if service.state is ServiceState.RUNNING:
-                service.hang_count += 1
-            service.state = ServiceState.HUNG
-            service.active_pipeline = None
-            choice = PipelineChoice(
-                service=service.name, pipeline=None, evaluation=None,
-                switched=previous is not None, hung=True,
-            )
-        else:
-            best_name = min(feasible, key=lambda n: self._score(feasible[n]))
+        if feasible:
+            best_name = self._pick(feasible, previous)
             service.state = ServiceState.RUNNING
             service.active_pipeline = best_name
             choice = PipelineChoice(
                 service=service.name,
                 pipeline=best_name,
                 evaluation=feasible[best_name],
-                switched=(previous != best_name) or was_hung,
+                switched=(previous != best_name) or was_down,
                 hung=False,
             )
+        else:
+            runnable = {
+                name: ev for name, ev in evaluations.items() if ev.feasible
+            }
+            if self.degrade_before_hang and runnable:
+                # Nothing meets the deadline, but something still runs:
+                # serve best-effort on the cheapest surviving pipeline
+                # rather than going dark (resume upgrades it later).
+                best_name = self._pick(runnable, previous)
+                service.state = ServiceState.DEGRADED
+                service.active_pipeline = best_name
+                choice = PipelineChoice(
+                    service=service.name,
+                    pipeline=best_name,
+                    evaluation=runnable[best_name],
+                    switched=previous != best_name,
+                    hung=False,
+                    degraded=True,
+                )
+            else:
+                if service.state is ServiceState.RUNNING:
+                    service.hang_count += 1
+                service.state = ServiceState.HUNG
+                service.active_pipeline = None
+                choice = PipelineChoice(
+                    service=service.name, pipeline=None, evaluation=None,
+                    switched=previous is not None, hung=True,
+                )
         self.switch_log.append(choice)
         return choice
 
-    def retune(self, world: World) -> list[PipelineChoice]:
+    def retune(
+        self, world: World, health: HealthWatchdog | None = None
+    ) -> list[PipelineChoice]:
         """Re-evaluate all managed services against the current world."""
         return [
-            self.choose(service, world)
+            self.choose(service, world, health=health)
             for service in self._services.values()
             if service.state
-            in (ServiceState.RUNNING, ServiceState.HUNG)
+            in (ServiceState.RUNNING, ServiceState.DEGRADED, ServiceState.HUNG)
         ]

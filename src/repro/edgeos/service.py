@@ -39,6 +39,7 @@ class ServiceState(enum.Enum):
     """Lifecycle states Elastic Management / Security move services through."""
 
     RUNNING = "running"
+    DEGRADED = "degraded"  # best-effort fallback pipeline, deadline not met
     HUNG = "hung"          # no pipeline meets the deadline (paper SIV-C)
     COMPROMISED = "compromised"
     REINSTALLING = "reinstalling"

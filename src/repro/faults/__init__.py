@@ -1,0 +1,40 @@
+"""Fault model: deterministic injection plans plus resilience primitives.
+
+The unreliable-environment half of the OpenVDAP argument (paper SIII-A,
+SIV-C): :mod:`repro.faults.plan` describes *what breaks when* as
+seed-reproducible data, :mod:`repro.faults.injector` replays a plan on the
+simulation clock, and :mod:`repro.faults.resilience` supplies the
+retry/backoff and circuit-breaker machinery the rest of the platform uses
+to survive it.
+"""
+
+from .injector import (
+    CLOUD_KEY,
+    FaultInjector,
+    collector_key,
+    link_key,
+    processor_key,
+    service_key,
+    world_fault_targets,
+)
+from .plan import DEFAULT_RATES, FaultEvent, FaultKind, FaultPlan, FaultRates
+from .resilience import BreakerState, CircuitBreaker, CircuitOpenError, RetryPolicy
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CLOUD_KEY",
+    "DEFAULT_RATES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRates",
+    "RetryPolicy",
+    "collector_key",
+    "link_key",
+    "processor_key",
+    "service_key",
+    "world_fault_targets",
+]

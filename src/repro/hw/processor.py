@@ -141,14 +141,22 @@ class ProcessorModel:
         """Whether this device can run the class at all (eff > 0)."""
         return self.efficiency.get(workload, 0.0) > 0.0
 
-    def execution_time(self, work_gops: float, workload: WorkloadClass) -> float:
-        """Seconds to execute ``work_gops`` giga-ops of the given class."""
+    def execution_time(
+        self, work_gops: float, workload: WorkloadClass, slowdown: float = 1.0
+    ) -> float:
+        """Seconds to execute ``work_gops`` giga-ops of the given class.
+
+        ``slowdown`` >= 1 models a degraded device (thermal throttling, a
+        PROCESSOR_SLOW fault window): sustained throughput is divided by it.
+        """
         if work_gops < 0:
             raise ValueError(f"work must be non-negative, got {work_gops}")
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
         effective = self.effective_gops(workload)
         if effective <= 0:
             raise ValueError(f"{self.name} cannot execute {workload.value} tasks")
-        return self.launch_overhead_s + work_gops / effective
+        return self.launch_overhead_s + work_gops * slowdown / effective
 
     def energy(self, busy_seconds: float) -> float:
         """Joules consumed while busy for the given duration."""

@@ -1,6 +1,6 @@
 """Offloading engine: task graphs, placement evaluation, strategies."""
 
-from .executor import DistributedExecutor, ExecutionResult
+from .executor import DistributedExecutor, ExecutionResult, TaskFailure
 from .layersplit import (
     LayerProfile,
     SplitDecision,
@@ -42,6 +42,7 @@ __all__ = [
     "PlacementEvaluation",
     "Strategy",
     "Task",
+    "TaskFailure",
     "TaskGraph",
     "evaluate_placement",
 ]

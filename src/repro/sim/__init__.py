@@ -6,6 +6,7 @@ from .core import (
     Event,
     Interrupt,
     Process,
+    Race,
     SimulationError,
     Simulator,
     Timeout,
@@ -21,6 +22,7 @@ __all__ = [
     "Interrupt",
     "PriorityStore",
     "Process",
+    "Race",
     "Resource",
     "RngRegistry",
     "SimulationError",

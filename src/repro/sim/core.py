@@ -31,6 +31,7 @@ __all__ = [
     "Process",
     "AnyOf",
     "AllOf",
+    "Race",
     "Interrupt",
     "Simulator",
     "SimulationError",
@@ -271,6 +272,40 @@ class AllOf(_Condition):
         return all(evt.processed and evt.ok for evt in self.events)
 
 
+class Race(Event):
+    """First-event-wins composition: fires with ``(index, value)``.
+
+    Unlike :class:`AnyOf`, a race identifies *which* constituent fired
+    first, which is what retry loops need to distinguish "work finished"
+    from "deadline elapsed" or "component failed".  If the winning event
+    failed, the race fails with the same exception.  Later events are left
+    untouched (a Timeout that loses simply fires into the void).
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("race() needs at least one event")
+        for index, event in enumerate(self.events):
+            if self.triggered:
+                break
+            if event.processed:
+                self._settle(index, event)
+            else:
+                event.callbacks.append(
+                    lambda evt, i=index: self._settle(i, evt)
+                )
+
+    def _settle(self, index: int, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed((index, event._value))
+
+
 class Simulator:
     """The event loop: a priority queue of (time, priority, seq, event)."""
 
@@ -300,6 +335,22 @@ class Simulator:
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
+
+    def race(self, *events: Event) -> Race:
+        """First-wins composition; yields ``(winner_index, winner_value)``."""
+        return Race(self, events)
+
+    def with_timeout(self, event: Event, timeout_s: float) -> Race:
+        """Race ``event`` against a deadline.
+
+        Yields ``(0, value)`` if the event won or ``(1, None)`` if the
+        deadline elapsed first -- the timeout-race every retry loop needs::
+
+            winner, value = yield sim.with_timeout(work, budget_s)
+            if winner == 1:
+                ...  # timed out; back off and retry
+        """
+        return Race(self, (event, self.timeout(timeout_s)))
 
     # -- scheduling --------------------------------------------------------
 

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.offload",
     "repro.edgeos",
     "repro.ddi",
+    "repro.faults",
     "repro.libvdap",
     "repro.apps",
     "repro.workloads",
