@@ -16,15 +16,17 @@ A full-stack, simulation-backed reproduction of Zhang et al., ICDCS 2018:
 * :mod:`repro.libvdap` -- the open application library (models, pBEAM, API)
 * :mod:`repro.apps` -- the four in-vehicle service classes + V2V collab
 * :mod:`repro.workloads` / :mod:`repro.metrics` -- generators and reports
+* :mod:`repro.analysis` -- the ``vdaplint`` determinism & safety linter
 """
 
 __version__ = "1.0.0"
 
-from . import apps, ddi, edgeos, faults, hw, libvdap, metrics, net, nn, offload, sim
+from . import analysis, apps, ddi, edgeos, faults, hw, libvdap, metrics, net, nn, offload, sim
 from . import scenario, topology, vcu, vision, workloads
 
 __all__ = [
     "__version__",
+    "analysis",
     "apps",
     "ddi",
     "edgeos",

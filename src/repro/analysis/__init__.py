@@ -1,0 +1,46 @@
+"""Static analysis layer: the ``vdaplint`` determinism & safety linter.
+
+Everything the reproduction claims -- Fig 2/3 and Table I regeneration,
+seeded fault storms, "same seed => byte-identical trace" -- rests on the
+sim kernel's determinism contract.  This package makes that contract a
+property checked on every commit instead of a convention in DESIGN.md: a
+from-scratch, stdlib-``ast`` lint engine (:mod:`.engine`), a rule pack
+encoding the platform invariants (:mod:`.rules`), inline suppression
+pragmas, a baseline file for grandfathered findings (:mod:`.baseline`),
+and a CLI with stable exit codes (:mod:`.cli`)::
+
+    python -m repro.analysis src/repro --strict
+    vdaplint --list-rules
+"""
+
+from .baseline import Baseline, fingerprint_findings
+from .engine import (
+    FileContext,
+    Finding,
+    LintEngine,
+    Rule,
+    discover_files,
+    lint_paths,
+    lint_source,
+)
+from .reporter import render_json, render_text
+from .rules import RULE_CLASSES, default_rules, rules_by_id
+from .cli import main
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "RULE_CLASSES",
+    "Rule",
+    "default_rules",
+    "discover_files",
+    "fingerprint_findings",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+    "rules_by_id",
+]

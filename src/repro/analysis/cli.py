@@ -1,0 +1,137 @@
+"""The vdaplint command line: ``python -m repro.analysis`` / ``vdaplint``.
+
+Exit codes are stable so CI can gate on them:
+
+* ``0`` -- no (non-baselined) findings
+* ``1`` -- findings reported (including files that fail to parse)
+* ``2`` -- usage error (unknown rule id, missing path, bad baseline file)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baseline import Baseline, fingerprint_findings
+from .engine import LintEngine, discover_files
+from .reporter import render_json, render_text
+from .rules import default_rules, rules_by_id
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_BASELINE = ".vdaplint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The vdaplint argument parser (exposed for --help tests)."""
+    parser = argparse.ArgumentParser(
+        prog="vdaplint",
+        description=(
+            "AST-based determinism & safety linter for the OpenVDAP "
+            "reproduction: one shared tree walk, a rule pack enforcing the "
+            "platform's invariants, pragma suppression, and a baseline for "
+            "grandfathered findings."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", "-f", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="PATH",
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="ignore the baseline: every finding counts, grandfathered or not",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _pick_rules(select: Optional[str], ignore: Optional[str],
+                parser: argparse.ArgumentParser):
+    catalogue = rules_by_id()
+
+    def parse_ids(raw: str) -> list[str]:
+        ids = [part.strip() for part in raw.split(",") if part.strip()]
+        for rule_id in ids:
+            if rule_id not in catalogue:
+                parser.error(f"unknown rule id: {rule_id}")
+        return ids
+
+    if select:
+        chosen = parse_ids(select)
+        rules = [catalogue[rule_id] for rule_id in chosen]
+    else:
+        rules = default_rules()
+    if ignore:
+        skipped = set(parse_ids(ignore))
+        rules = [rule for rule in rules if rule.id not in skipped]
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+
+    rules = _pick_rules(args.select, args.ignore, parser)
+
+    try:
+        files = discover_files(args.paths)
+    except FileNotFoundError as err:
+        parser.error(f"no such path: {err.args[0]}")
+
+    engine = LintEngine(rules)
+    findings = engine.lint_paths(args.paths)
+
+    if args.write_baseline:
+        Baseline(fingerprint_findings(findings)).save(args.baseline)
+        print(
+            f"wrote {len(findings)} fingerprint"
+            f"{'s' if len(findings) != 1 else ''} to {args.baseline}"
+        )
+        return 0
+
+    baselined_count = 0
+    if not args.strict:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as err:
+            parser.error(str(err))
+        findings, grandfathered = baseline.partition(findings)
+        baselined_count = len(grandfathered)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_scanned=len(files), baselined=baselined_count))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -125,7 +125,7 @@ class DiskDB:
     def streams(self) -> list[str]:
         on_disk = {
             name[: -len(".jsonl")]
-            for name in os.listdir(self.root)
+            for name in sorted(os.listdir(self.root))
             if name.endswith(".jsonl")
         }
         return sorted(on_disk | set(self._segments))

@@ -77,6 +77,8 @@ class MigrationStats:
     deferred_rounds: int = 0
     failed_rounds: int = 0
     breaker_deferred_rounds: int = 0
+    #: ``"ExcType: message"`` of the most recent mid-batch failure, if any.
+    last_error: str | None = None
 
 
 class UplinkMigrator:
@@ -199,11 +201,14 @@ class UplinkMigrator:
                 migrated += len(batch)
                 self.stats.records_migrated += len(batch)
                 self.stats.batches += 1
-        except Exception:
-            # The uplink died mid-batch; the watermark never advanced for
-            # the failed batch, so a restart re-ships it (dedup absorbs
-            # any records the server did receive before the crash).
+        except (OSError, RuntimeError) as err:
+            # The uplink died mid-batch (transport or server failure); the
+            # watermark never advanced for the failed batch, so a restart
+            # re-ships it (dedup absorbs any records the server did receive
+            # before the crash).  Record what happened before propagating --
+            # a swallowed cause makes fault storms undebuggable.
             self.stats.failed_rounds += 1
+            self.stats.last_error = f"{type(err).__name__}: {err}"
             if self.breaker is not None:
                 self.breaker.record_failure(now_s)
             raise

@@ -41,7 +41,8 @@ def downward_closed_cuts(graph: TaskGraph) -> list[frozenset]:
         for combo in itertools.combinations(names, r):
             subset = frozenset(combo)
             closed = all(
-                set(graph.predecessors(name)) <= subset for name in subset
+                # all() is order-insensitive, so unordered iteration is safe.
+                set(graph.predecessors(name)) <= subset for name in subset  # vdaplint: disable=DET003
             )
             if closed:
                 cuts.append(subset)

@@ -1,0 +1,8 @@
+"""Fixture: API001 flags __all__ names the module never defines."""
+
+__all__ = ["exists", "ghost"]  # expect: API001
+
+
+def exists():
+    """The only name this module actually defines."""
+    return True

@@ -1,0 +1,6 @@
+"""Fixture: API001 flags a public module with no __all__ at all."""  # expect: API001
+
+
+def orphan():
+    """Defined but never exported."""
+    return None

@@ -1,0 +1,16 @@
+"""Fixture: a fully clean module that must produce zero findings."""
+
+import numpy as np
+
+__all__ = ["tick", "draw"]
+
+
+def tick(sim, deadline):
+    """Sim-clock time, ordering comparison, seeded randomness."""
+    return sim.now >= deadline
+
+
+def draw(seed):
+    """Explicit generator, no global state."""
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform(0.0, 1.0))

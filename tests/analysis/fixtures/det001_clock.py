@@ -1,0 +1,19 @@
+"""Fixture: DET001 flags every flavour of wall-clock read."""
+
+import time
+from datetime import date, datetime
+from time import monotonic, perf_counter
+
+__all__ = ["stamp"]
+
+
+def stamp():
+    """Read the host clock six ways; only the pragma'd one is allowed."""
+    a = time.time()  # expect: DET001
+    b = time.monotonic_ns()  # expect: DET001
+    c = monotonic()  # expect: DET001
+    d = perf_counter()  # expect: DET001
+    e = datetime.now()  # expect: DET001
+    f = date.today()  # expect: DET001
+    allowed = time.time()  # vdaplint: disable=DET001
+    return a, b, c, d, e, f, allowed

@@ -1,0 +1,20 @@
+"""Fixture: DET002 flags global RNG state, allows seeded generators."""
+
+import random
+import numpy as np
+from random import randint
+from numpy.random import seed as np_seed
+
+__all__ = ["draw"]
+
+
+def draw():
+    """Mix banned global draws with an allowed explicit generator."""
+    random.seed(7)  # expect: DET002
+    a = random.random()  # expect: DET002
+    b = randint(0, 3)  # expect: DET002
+    np.random.seed(0)  # expect: DET002
+    c = np.random.rand(4)  # expect: DET002
+    np_seed(1)  # expect: DET002
+    rng = np.random.default_rng(0)  # allowed: explicit seeded generator
+    return a, b, c, rng.integers(0, 10)

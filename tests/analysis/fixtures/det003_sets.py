@@ -1,0 +1,24 @@
+"""Fixture: DET003 flags unordered iteration feeding scheduling code."""
+
+__all__ = ["schedule"]
+
+PENDING: set[str] = set()
+
+
+def schedule(table, items):
+    """Iterate unordered collections every way the rule knows about."""
+    order = []
+    for name in PENDING:  # expect: DET003
+        order.append(name)
+    for key in table.keys():  # expect: DET003
+        order.append(key)
+    for item in {"a", "b"}:  # expect: DET003
+        order.append(item)
+    for item in set(items):  # expect: DET003
+        order.append(item)
+    doubled = [x for x in frozenset(items)]  # expect: DET003
+    for name in sorted(PENDING):  # allowed: sorted pins the order
+        order.append(name)
+    for key, value in table.items():  # allowed: dicts preserve insertion order
+        order.append((key, value))
+    return order, doubled

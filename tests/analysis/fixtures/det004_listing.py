@@ -1,0 +1,16 @@
+"""Fixture: DET004 flags filesystem enumeration not wrapped in sorted()."""
+
+import glob
+import os
+
+__all__ = ["enumerate_dir"]
+
+
+def enumerate_dir(root):
+    """Unsorted listings are flagged; sorted() wrapping is allowed."""
+    names = os.listdir(root)  # expect: DET004
+    matches = glob.glob("*.py")  # expect: DET004
+    walker = os.walk(root)  # expect: DET004
+    ordered = sorted(os.listdir(root))  # allowed: sorted directly
+    trimmed = sorted(name for name in os.listdir(root) if name)  # allowed
+    return names, matches, walker, ordered, trimmed

@@ -1,0 +1,17 @@
+"""Fixture: FLT001 flags exact float equality on sim timestamps."""
+
+__all__ = ["deadline_hit", "window"]
+
+
+def deadline_hit(sim, record, deadline):
+    """Equality on timestamps is a coin flip once arithmetic rounds them."""
+    a = sim.now == deadline  # expect: FLT001
+    b = record.timestamp != deadline  # expect: FLT001
+    now_s = sim.now
+    c = now_s == 5.0  # expect: FLT001
+    return a, b, c
+
+
+def window(sim, record, deadline, eps=1e-9):
+    """Ordering and epsilon comparisons are the sanctioned forms."""
+    return sim.now >= deadline and abs(record.timestamp - deadline) < eps

@@ -1,0 +1,16 @@
+"""Fixture: file-level and line-level pragma suppression."""
+# vdaplint: disable-file=DET002
+
+import random
+import time
+
+__all__ = ["wobble"]
+
+
+def wobble():
+    """Draws under a file pragma, clock reads under line pragmas."""
+    a = random.random()  # suppressed by the disable-file pragma
+    b = time.time()  # vdaplint: disable=DET001
+    c = time.time()  # vdaplint: disable=all
+    d = time.time()  # vdaplint: disable=DET002 # expect: DET001
+    return a, b, c, d

@@ -1,0 +1,35 @@
+"""Fixture: RES001 flags broad excepts that swallow failures silently."""
+
+__all__ = ["risky"]
+
+
+def risky(action, log, stats):
+    """Silent broad handlers are flagged; handled/narrow ones are not."""
+    try:
+        action()
+    except Exception:  # expect: RES001
+        pass
+    try:
+        action()
+    except:  # expect: RES001
+        stats.count += 1
+    try:
+        action()
+    except (ValueError, Exception):  # expect: RES001
+        pass
+    try:
+        action()
+    except Exception as err:
+        log.warning("failed: %s", err)  # allowed: logged
+    try:
+        action()
+    except Exception as err:
+        stats.last = str(err)  # allowed: bound exception is used
+    try:
+        action()
+    except ValueError:
+        pass  # allowed: narrow type
+    try:
+        action()
+    except Exception:
+        raise  # allowed: re-raised

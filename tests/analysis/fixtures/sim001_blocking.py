@@ -1,0 +1,23 @@
+"""Fixture: SIM001 flags host-blocking calls in sim processes."""
+
+import subprocess
+import time
+
+__all__ = ["proc", "helper", "offline_tool"]
+
+
+def proc(sim):
+    """A generator-based sim process must never block the host."""
+    time.sleep(0.1)  # expect: SIM001
+    subprocess.run(["true"])  # expect: SIM001
+    yield sim.timeout(1.0)
+
+
+def helper():
+    """time.sleep is banned even outside sim processes."""
+    time.sleep(0.5)  # expect: SIM001
+
+
+def offline_tool():
+    """Non-generator code may shell out (not a sim process)."""
+    return subprocess.run(["true"])

@@ -1,0 +1,124 @@
+"""Engine mechanics: pragmas, qualname resolution, fingerprints, E999."""
+
+import ast
+
+from repro.analysis import (
+    Finding,
+    LintEngine,
+    Rule,
+    fingerprint_findings,
+    lint_source,
+)
+from repro.analysis.engine import FileContext, PARSE_ERROR_RULE
+
+
+class _EveryCall(Rule):
+    """Test rule: reports every call site (exercises dispatch + pragmas)."""
+
+    id = "TST001"
+    name = "every-call"
+    description = "flags every call"
+
+    def visit_Call(self, node, ctx):
+        ctx.report(self, node, "a call")
+
+
+def test_single_pass_dispatch_reaches_nested_nodes():
+    source = "def f():\n    g()\n    return [h() for _ in range(2)]\n"
+    findings = lint_source(source, rules=[_EveryCall()])
+    assert [f.line for f in findings] == [2, 3, 3]
+    assert all(f.rule == "TST001" for f in findings)
+
+
+def test_line_pragma_suppresses_only_named_rule():
+    source = "f()  # vdaplint: disable=TST001\ng()  # vdaplint: disable=OTHER\n"
+    findings = lint_source(source, rules=[_EveryCall()])
+    assert [(f.line, f.rule) for f in findings] == [(2, "TST001")]
+
+
+def test_disable_all_pragma():
+    source = "f()  # vdaplint: disable=all\n"
+    assert lint_source(source, rules=[_EveryCall()]) == []
+
+
+def test_file_pragma_suppresses_everywhere():
+    source = "# vdaplint: disable-file=TST001\nf()\ng()\n"
+    assert lint_source(source, rules=[_EveryCall()]) == []
+
+
+def test_syntax_error_becomes_e999_finding():
+    findings = lint_source("def broken(:\n", rules=[_EveryCall()])
+    assert len(findings) == 1
+    assert findings[0].rule == PARSE_ERROR_RULE
+
+
+def test_qualname_resolves_aliases_and_from_imports():
+    tree = ast.parse(
+        "import numpy as np\nfrom time import monotonic as mono\n"
+        "np.random.seed(0)\nmono()\n"
+    )
+    ctx = FileContext("x.py", "", tree)
+    calls = [n for n in ast.walk(tree) if isinstance(n, ast.Call)]
+    assert sorted(filter(None, (ctx.qualname(c.func) for c in calls))) == [
+        "numpy.random.seed",
+        "time.monotonic",
+    ]
+
+
+def test_subsystem_detection():
+    tree = ast.parse("pass")
+    assert FileContext("src/repro/edgeos/elastic.py", "", tree).subsystem == "edgeos"
+    assert FileContext("src/repro/scenario.py", "", tree).subsystem is None
+    assert FileContext("standalone.py", "", tree).subsystem is None
+
+
+def test_in_generator_tracks_innermost_function():
+    seen = {}
+
+    class Probe(Rule):
+        id = "TST002"
+        name = "probe"
+        description = "records generator context per call"
+
+        def visit_Call(self, node, ctx):
+            seen[node.func.id] = ctx.in_generator()
+
+    source = (
+        "def gen():\n"
+        "    inside()\n"
+        "    yield 1\n"
+        "def plain():\n"
+        "    outside()\n"
+        "def outer():\n"
+        "    def nested_gen():\n"
+        "        deep()\n"
+        "        yield 2\n"
+        "    shallow()\n"
+    )
+    LintEngine([Probe()]).lint_source(source)
+    assert seen == {
+        "inside": True,
+        "outside": False,
+        "deep": True,
+        "shallow": False,
+    }
+
+
+def test_findings_sort_stably():
+    a = Finding("b.py", 1, 0, "R1", "m")
+    b = Finding("a.py", 9, 0, "R1", "m")
+    c = Finding("a.py", 2, 4, "R2", "m")
+    assert sorted([a, b, c]) == [c, b, a]
+
+
+def test_fingerprints_are_stable_under_line_moves():
+    original = Finding("m.py", 10, 0, "DET001", "msg", snippet="x = time.time()")
+    moved = Finding("m.py", 50, 0, "DET001", "msg", snippet="x = time.time()")
+    assert fingerprint_findings([original]) == fingerprint_findings([moved])
+
+
+def test_fingerprints_distinguish_duplicate_lines():
+    twin = Finding("m.py", 10, 0, "DET001", "msg", snippet="x = time.time()")
+    other = Finding("m.py", 20, 0, "DET001", "msg", snippet="x = time.time()")
+    prints = fingerprint_findings([twin, other])
+    assert len(set(prints)) == 2

@@ -1,0 +1,58 @@
+"""The fixture corpus: every shipped rule fires exactly where annotated.
+
+Each fixture file under ``fixtures/`` marks its intended violations with
+``# expect: RULE`` (comma-separated for several rules on one line).  The
+corpus test lints each fixture with the full default rule pack and
+requires the (line, rule) sets to match *exactly* -- so fixtures both
+prove each rule fires with the right id and line number, and prove the
+rules raise no false positives on the surrounding clean code (including
+pragma-suppressed lines).
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.analysis import default_rules, lint_source
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+FIXTURES = sorted(f for f in os.listdir(FIXTURE_DIR) if f.endswith(".py"))
+
+EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)")
+
+
+def expected_findings(source: str) -> set[tuple[int, str]]:
+    expected = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = EXPECT_RE.search(text)
+        if match:
+            for rule in match.group(1).split(","):
+                expected.add((lineno, rule.strip()))
+    return expected
+
+
+def test_corpus_is_nonempty():
+    assert len(FIXTURES) >= 8, "fixture corpus should cover every rule"
+
+
+@pytest.mark.parametrize("fixture", FIXTURES)
+def test_fixture_findings_match_annotations(fixture):
+    path = os.path.join(FIXTURE_DIR, fixture)
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    expected = expected_findings(source)
+    actual = {(f.line, f.rule) for f in lint_source(source, path=fixture)}
+    assert actual == expected, (
+        f"{fixture}: findings {sorted(actual)} != annotations {sorted(expected)}"
+    )
+
+
+def test_corpus_exercises_every_rule():
+    """Across the whole corpus, every shipped rule id fires at least once."""
+    fired = set()
+    for fixture in FIXTURES:
+        with open(os.path.join(FIXTURE_DIR, fixture), encoding="utf-8") as fh:
+            fired |= {rule for _line, rule in expected_findings(fh.read())}
+    shipped = {rule.id for rule in default_rules()}
+    assert shipped <= fired, f"rules never exercised: {sorted(shipped - fired)}"

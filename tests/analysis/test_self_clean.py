@@ -1,0 +1,31 @@
+"""The meta-test: the platform's own tree passes its own linter.
+
+This is the acceptance gate the CI job re-checks: ``vdaplint src/repro``
+must report **zero** non-baselined findings -- i.e. the determinism
+contract is clean on every commit, with no grandfathered debt for code
+written after the linter shipped.
+"""
+
+import os
+
+import repro
+from repro.analysis import lint_paths
+
+
+def repro_source_root() -> str:
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def test_vdaplint_reports_zero_violations_on_src_repro():
+    findings = lint_paths([repro_source_root()])
+    rendered = "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in findings)
+    assert not findings, f"vdaplint found violations in src/repro:\n{rendered}"
+
+
+def test_src_repro_needs_no_baseline_entries():
+    """The shipped tree is clean outright -- strict mode equals default mode."""
+    repo_root = os.path.dirname(os.path.dirname(repro_source_root()))
+    baseline_path = os.path.join(repo_root, ".vdaplint-baseline.json")
+    assert not os.path.exists(baseline_path), (
+        "src/repro should stay clean without grandfathered baseline entries"
+    )

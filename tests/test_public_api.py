@@ -8,6 +8,7 @@ import pytest
 import repro
 
 SUBPACKAGES = [
+    "repro.analysis",
     "repro.sim",
     "repro.hw",
     "repro.net",
@@ -45,6 +46,36 @@ def test_every_public_callable_is_documented(module_name):
             if not (obj.__doc__ or "").strip():
                 undocumented.append(name)
     assert not undocumented, f"{module_name}: undocumented exports {undocumented}"
+
+
+def _walk_all_modules():
+    """Every importable module under repro, not just subpackage roots."""
+    import pkgutil
+
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if not info.name.endswith(".__main__"):
+            yield info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_walk_all_modules()))
+def test_every_declared_name_imports(module_name):
+    """__all__ in every module (leaf or package) resolves name-by-name."""
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), (
+            f"{module_name}.__all__ declares {name!r} but importing it fails"
+        )
+
+
+def test_every_module_declares_all():
+    """API001's contract, enforced dynamically: public modules export __all__."""
+    missing = [
+        name
+        for name in _walk_all_modules()
+        if not hasattr(importlib.import_module(name), "__all__")
+    ]
+    assert not missing, f"public modules without __all__: {missing}"
 
 
 def test_every_module_has_a_docstring():
