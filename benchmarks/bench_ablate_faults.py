@@ -17,6 +17,7 @@ because the plan is seed-deterministic, this table reproduces exactly.
 import pytest
 
 from conftest import write_report
+from repro.analysis import DeterminismSanitizer
 from repro.faults import (
     FaultInjector,
     FaultKind,
@@ -74,6 +75,7 @@ def storm_plan() -> FaultPlan:
 def run_drive(plan: FaultPlan, resilient: bool) -> dict:
     world = build_default_world()
     sim = Simulator()
+    sanitizer = DeterminismSanitizer(sim, keep_records=False)
     injector = FaultInjector(sim, plan, world=world)
     executor = DistributedExecutor(
         sim, world, faults=injector, retry=RETRY if resilient else None
@@ -104,6 +106,7 @@ def run_drive(plan: FaultPlan, resilient: bool) -> dict:
             sum(r.latency_s for r in completed) / len(completed)
             if completed else float("nan")
         ),
+        "trace_hash": sanitizer.trace_hash,
     }
 
 
@@ -128,6 +131,10 @@ def test_resilience_ablation(benchmark):
             f"{row['deadline_hits']:>14d}{row['retries']:>9d}"
             f"{row['failovers']:>11d}{row['mean_latency_s']:>12.3f}"
         )
+    lines.append(
+        f"event-loop trace hashes: fail-fast {off['trace_hash']}, "
+        f"resilient {on['trace_hash']}"
+    )
     write_report("ablate_faults", lines)
 
     # The storm must actually hurt the fail-fast executor...

@@ -3,40 +3,74 @@
 Everything the reproduction claims -- Fig 2/3 and Table I regeneration,
 seeded fault storms, "same seed => byte-identical trace" -- rests on the
 sim kernel's determinism contract.  This package makes that contract a
-property checked on every commit instead of a convention in DESIGN.md: a
-from-scratch, stdlib-``ast`` lint engine (:mod:`.engine`), a rule pack
-encoding the platform invariants (:mod:`.rules`), inline suppression
-pragmas, a baseline file for grandfathered findings (:mod:`.baseline`),
-and a CLI with stable exit codes (:mod:`.cli`)::
+property checked on every commit instead of a convention in DESIGN.md:
+
+* a from-scratch, stdlib-``ast`` lint engine (:mod:`.engine`) with a
+  single-file rule pack encoding the platform invariants (:mod:`.rules`),
+  inline suppression pragmas, and a baseline file for grandfathered
+  findings (:mod:`.baseline`);
+* a **whole-program** layer: a project-wide symbol table and call graph
+  (:mod:`.callgraph`) feeding an interprocedural nondeterminism taint
+  pass (:mod:`.dataflow`) -- DET101/SIM101/RACE001 catch cross-module
+  violations no single file can show;
+* a **runtime** cross-check (:mod:`.sanitizer`): an opt-in
+  ``DeterminismSanitizer`` that hashes the live event trace so two
+  same-seed runs can be diffed to the first diverging event;
+* a CLI with stable exit codes (:mod:`.cli`)::
 
     python -m repro.analysis src/repro --strict
+    python -m repro.analysis --whole-program --jobs 4 src/repro tests --strict
     vdaplint --list-rules
 """
 
 from .baseline import Baseline, fingerprint_findings
+from .callgraph import ProjectGraph, build_graph, infer_module_name
+from .dataflow import (
+    FLOW_RULE_CLASSES,
+    TaintAnalysis,
+    WholeProgramAnalyzer,
+    flow_rules,
+    flow_rules_by_id,
+)
 from .engine import (
     FileContext,
     Finding,
     LintEngine,
+    Pragmas,
     Rule,
+    SKIP_MARKER,
     discover_files,
     lint_paths,
     lint_source,
 )
 from .reporter import render_json, render_text
 from .rules import RULE_CLASSES, default_rules, rules_by_id
+from .sanitizer import DeterminismSanitizer, Divergence, TraceRecord
 from .cli import main
 
 __all__ = [
     "Baseline",
+    "DeterminismSanitizer",
+    "Divergence",
+    "FLOW_RULE_CLASSES",
     "FileContext",
     "Finding",
     "LintEngine",
+    "Pragmas",
+    "ProjectGraph",
     "RULE_CLASSES",
     "Rule",
+    "SKIP_MARKER",
+    "TaintAnalysis",
+    "TraceRecord",
+    "WholeProgramAnalyzer",
+    "build_graph",
     "default_rules",
     "discover_files",
     "fingerprint_findings",
+    "flow_rules",
+    "flow_rules_by_id",
+    "infer_module_name",
     "lint_paths",
     "lint_source",
     "main",

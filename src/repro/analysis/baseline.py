@@ -69,6 +69,9 @@ class Baseline:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
 
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
     def partition(
         self, findings: Sequence[Finding]
     ) -> tuple[list[Finding], list[Finding]]:
@@ -78,3 +81,14 @@ class Baseline:
         for finding, digest in zip(sorted(findings), fingerprint_findings(findings)):
             (old if digest in self.fingerprints else new).append(finding)
         return new, old
+
+    def stale_fingerprints(self, findings: Sequence[Finding]) -> set[str]:
+        """Fingerprints that no longer correspond to any current finding.
+
+        Stale entries are harmless to correctness (they can only ever
+        grandfather a finding that no longer exists) but they accumulate
+        silently as violations get fixed; ``--write-baseline`` uses this
+        to garbage-collect them and runs report the count so the rot is
+        visible.
+        """
+        return self.fingerprints - set(fingerprint_findings(findings))

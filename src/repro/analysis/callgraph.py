@@ -1,0 +1,696 @@
+"""Project-wide symbol table and call graph for whole-program analysis.
+
+The single-file engine (:mod:`.engine`) sees one AST at a time, so a
+helper that reads the wall clock is invisible at its sim-context call
+sites in other modules.  This module builds the cross-file picture those
+checks need:
+
+* a **symbol table** of every module, class, function and method in the
+  analyzed tree, keyed by dotted qualname (``repro.sim.core.Simulator.run``);
+* a **call graph** whose edges are resolved through each file's import
+  map (aliases, ``from``-imports, relative imports, package re-exports)
+  plus light local type inference (parameter annotations, ``self``,
+  ``x = ClassName(...)`` locals);
+* the set of **sim process roots**: functions whose generators are
+  handed to ``Simulator.process(...)`` anywhere in the tree; and
+* per-function **attribute write sites**, the raw material for the
+  shared-state race heuristic.
+
+Resolution is deliberately best-effort: an unresolvable call simply
+produces no edge (never a guess that crosses modules), except for the
+*unique-method* fallback — ``obj.frobnicate()`` resolves when exactly one
+class in the whole project defines ``frobnicate`` — which is marked
+``heuristic`` on the edge so downstream rules can weigh it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .engine import FileContext, discover_files
+
+__all__ = [
+    "AttrWrite",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "build_graph",
+    "infer_module_name",
+]
+
+#: Receiver-method names that register a generator as a sim process.
+PROCESS_REGISTRARS = frozenset({"process"})
+
+#: Call leaf names that count as taking a sim resource before a write.
+ACQUIRE_NAMES = frozenset({"request", "acquire"})
+
+
+def infer_module_name(path: str) -> str:
+    """Dotted module name for ``path``, walking up through ``__init__.py``.
+
+    ``src/repro/sim/core.py`` -> ``repro.sim.core`` (``src`` has no
+    ``__init__.py``); a standalone file maps to its stem.  Package
+    ``__init__`` files map to the package itself (``repro.sim``).
+    """
+    full = os.path.abspath(path)
+    directory, filename = os.path.split(full)
+    stem = os.path.splitext(filename)[0]
+    parts: list[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parent, package = os.path.split(directory)
+        if not package or parent == directory:
+            break
+        parts.append(package)
+        directory = parent
+    return ".".join(reversed(parts)) or stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the analyzed tree."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    lineno: int
+    node: ast.AST
+    is_generator: bool
+    class_name: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and (resolved where possible) bases."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    lineno: int
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file: tree, source, and its import map."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    is_package: bool = False
+
+
+@dataclass
+class CallSite:
+    """One call expression, with its resolution (if any).
+
+    Exactly one of ``callee`` (a project function qualname) or
+    ``external`` (a dotted name outside the project, e.g. ``time.time``)
+    is set when resolution succeeded; both are ``None`` otherwise.
+    """
+
+    caller: str
+    path: str
+    line: int
+    col: int
+    callee: Optional[str] = None
+    external: Optional[str] = None
+    heuristic: bool = False
+    node: Optional[ast.Call] = None
+
+
+@dataclass
+class AttrWrite:
+    """One ``base.attr = ...`` (or augmented) write inside a function.
+
+    ``base_kind`` is ``"self"``, ``"param"`` or ``"global"`` — writes to
+    function-local objects are never recorded.  ``share_key`` identifies
+    the written slot across processes as precisely as resolution allows:
+    ``(class qualname, attr)`` for typed receivers, ``(module-level
+    qualname, attr)`` for globals, ``("param:<name>", attr)`` otherwise.
+    ``guarded`` is True when the enclosing function takes a sim resource
+    (``.request()`` / ``.acquire()``) on an earlier line.
+    """
+
+    function: str
+    path: str
+    line: int
+    col: int
+    base: str
+    attr: str
+    base_kind: str
+    share_key: tuple[str, str] = ("", "")
+    guarded: bool = False
+
+
+class _Scope:
+    """Name environment while walking one function body."""
+
+    def __init__(self, params: Iterable[str]):
+        self.params = set(params)
+        self.locals: set[str] = set()
+        self.types: dict[str, str] = {}  # name -> class qualname
+        self.nested: dict[str, str] = {}  # name -> function qualname
+
+
+class ProjectGraph:
+    """The whole-program index: symbols, edges, roots, write sites."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: caller qualname -> call sites inside it (module-level code is
+        #: recorded under ``<module>#<body>``).
+        self.calls: dict[str, list[CallSite]] = {}
+        #: callee qualname -> caller qualnames (reverse edges).
+        self.callers: dict[str, set[str]] = {}
+        #: function qualnames registered as sim processes, -> the
+        #: registration site that proved it.
+        self.process_roots: dict[str, CallSite] = {}
+        self.attr_writes: dict[str, list[AttrWrite]] = {}
+        #: method name -> class qualnames defining it (unique-method fallback).
+        self._method_index: dict[str, list[str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_module(self, path: str, source: str,
+                   module_name: Optional[str] = None) -> Optional[ModuleInfo]:
+        """Index one file; returns None (and skips it) on syntax errors."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            return None
+        name = module_name or infer_module_name(path)
+        info = ModuleInfo(
+            name=name,
+            path=path,
+            source=source,
+            tree=tree,
+            imports=FileContext._collect_imports(tree),
+            is_package=os.path.basename(path) == "__init__.py",
+        )
+        self.modules[name] = info
+        self._index_definitions(info)
+        return info
+
+    def _index_definitions(self, module: ModuleInfo) -> None:
+        generators = FileContext._find_generators(module.tree)
+
+        def register_function(node, prefix: str, class_name: Optional[str],
+                              class_info: Optional[ClassInfo]) -> FunctionInfo:
+            qual = f"{prefix}.{node.name}" if prefix else node.name
+            info = FunctionInfo(
+                qualname=qual,
+                module=module.name,
+                name=node.name,
+                path=module.path,
+                lineno=node.lineno,
+                node=node,
+                is_generator=node in generators,
+                class_name=class_name,
+            )
+            self.functions[qual] = info
+            if class_info is not None:
+                class_info.methods[node.name] = info
+                self._method_index.setdefault(node.name, []).append(
+                    class_info.qualname
+                )
+            return info
+
+        def walk(body, prefix: str, class_name: Optional[str],
+                 class_info: Optional[ClassInfo]) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = register_function(stmt, prefix, class_name, class_info)
+                    # Nested defs live under their parent's qualname.
+                    walk(stmt.body, info.qualname, None, None)
+                elif isinstance(stmt, ast.ClassDef):
+                    cls = ClassInfo(
+                        qualname=f"{prefix}.{stmt.name}" if prefix else stmt.name,
+                        module=module.name,
+                        name=stmt.name,
+                        path=module.path,
+                        lineno=stmt.lineno,
+                        node=stmt,
+                        bases=[b for b in map(self._dotted, stmt.bases) if b],
+                    )
+                    self.classes[cls.qualname] = cls
+                    walk(stmt.body, cls.qualname, stmt.name, cls)
+                elif isinstance(stmt, (ast.If, ast.Try, ast.With)):
+                    for sub in ast.iter_child_nodes(stmt):
+                        if isinstance(sub, ast.stmt):
+                            walk([sub], prefix, class_name, class_info)
+                        elif isinstance(sub, ast.ExceptHandler):
+                            walk(sub.body, prefix, class_name, class_info)
+
+        walk(module.tree.body, module.name, None, None)
+
+    def link(self) -> None:
+        """Second pass: resolve every call / write once all symbols exist."""
+        for name in sorted(self.modules):
+            self._link_module(self.modules[name])
+        for caller in sorted(self.calls):
+            for site in self.calls[caller]:
+                if site.callee:
+                    self.callers.setdefault(site.callee, set()).add(caller)
+
+    # -- name resolution ---------------------------------------------------
+
+    @staticmethod
+    def _dotted(node: ast.AST) -> Optional[str]:
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    @staticmethod
+    def _absolutize(dotted: str, module: ModuleInfo) -> str:
+        """Resolve a (possibly relative) import target to an absolute name."""
+        if not dotted.startswith("."):
+            return dotted
+        level = len(dotted) - len(dotted.lstrip("."))
+        remainder = dotted[level:]
+        package = module.name if module.is_package else module.name.rsplit(".", 1)[0]
+        parts = package.split(".")
+        if level > 1:
+            parts = parts[: len(parts) - (level - 1)] or parts[:1]
+        base = ".".join(parts)
+        return f"{base}.{remainder}" if remainder else base
+
+    def resolve_qualname(self, dotted: str, _depth: int = 0) -> Optional[str]:
+        """Resolve an absolute dotted name to a project function/class qualname.
+
+        Follows package re-exports (``repro.sim.Simulator`` declared via
+        ``from .core import Simulator`` in ``repro/sim/__init__.py``) up to
+        a small depth bound.
+        """
+        if _depth > 8:
+            return None
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        parts = dotted.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            module_name = ".".join(parts[:i])
+            module = self.modules.get(module_name)
+            if module is None:
+                continue
+            rest = parts[i:]
+            qual = f"{module_name}.{'.'.join(rest)}"
+            if qual in self.functions or qual in self.classes:
+                return qual
+            target = module.imports.get(rest[0])
+            if target is not None:
+                absolute = self._absolutize(target, module)
+                return self.resolve_qualname(
+                    ".".join([absolute, *rest[1:]]), _depth + 1
+                )
+            return None
+        return None
+
+    def _resolve_method(self, class_qual: str, method: str,
+                        _depth: int = 0) -> Optional[str]:
+        """Find ``method`` on ``class_qual`` or (resolved) base classes."""
+        if _depth > 8:
+            return None
+        cls = self.classes.get(class_qual)
+        if cls is None:
+            return None
+        info = cls.methods.get(method)
+        if info is not None:
+            return info.qualname
+        module = self.modules.get(cls.module)
+        for base in cls.bases:
+            base_qual = None
+            if module is not None:
+                base_qual = self._resolve_chain_in_module(base, module)
+            if base_qual is None:
+                base_qual = self.resolve_qualname(base)
+            if base_qual is not None and base_qual in self.classes:
+                found = self._resolve_method(base_qual, method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_chain_in_module(self, dotted: str,
+                                 module: ModuleInfo) -> Optional[str]:
+        """Resolve a dotted chain as seen from inside ``module``."""
+        root, _, rest = dotted.partition(".")
+        # Same-module symbol?
+        local = f"{module.name}.{dotted}"
+        if local in self.functions or local in self.classes:
+            return local
+        # Through the import map.
+        target = module.imports.get(root)
+        if target is not None:
+            absolute = self._absolutize(target, module)
+            full = f"{absolute}.{rest}" if rest else absolute
+            return self.resolve_qualname(full)
+        return None
+
+    # -- linking one module ------------------------------------------------
+
+    def _link_module(self, module: ModuleInfo) -> None:
+        module_caller = f"{module.name}#<body>"
+
+        def walk_function(func: Optional[FunctionInfo], node: ast.AST,
+                          scope: _Scope, caller: str) -> None:
+            """Visit ``node``'s subtree, stopping at nested defs."""
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested_qual = f"{caller}.{child.name}"
+                    if nested_qual in self.functions:
+                        scope.nested[child.name] = nested_qual
+                        self._walk_body(self.functions[nested_qual])
+                    continue
+                if isinstance(child, ast.ClassDef):
+                    continue  # methods were indexed; linked via self.functions
+                if isinstance(child, ast.Call):
+                    self._record_call(child, module, scope, caller)
+                if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    self._record_assign(child, module, scope, caller, func)
+                walk_function(func, child, scope, caller)
+
+        # Module-level statements (imports/assignments/guarded __main__ code).
+        top_scope = _Scope(params=())
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            walk_function(None, stmt, top_scope, module_caller)
+        # Every indexed function belonging to this module.
+        for qual in sorted(self.functions):
+            info = self.functions[qual]
+            if info.module == module.name:
+                self._walk_body(info)
+
+    def _walk_body(self, func: FunctionInfo) -> None:
+        if func.qualname in self.calls or func.qualname in self.attr_writes:
+            return  # already linked (e.g. visited as a nested def)
+        self.calls.setdefault(func.qualname, [])
+        module = self.modules[func.module]
+        node = func.node
+        scope = _Scope(params=self._param_names(node))
+        self._seed_types(node, scope, module, func)
+        guard_lines = self._acquire_lines(node)
+
+        def visit(current: ast.AST) -> None:
+            for child in ast.iter_child_nodes(current):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested_qual = f"{func.qualname}.{child.name}"
+                    if nested_qual in self.functions:
+                        scope.nested[child.name] = nested_qual
+                        self._walk_body(self.functions[nested_qual])
+                    continue
+                if isinstance(child, ast.ClassDef):
+                    continue
+                if isinstance(child, ast.Call):
+                    self._record_call(child, module, scope, func.qualname)
+                if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    self._record_assign(
+                        child, module, scope, func.qualname, func,
+                        guard_lines=guard_lines,
+                    )
+                visit(child)
+
+        visit(node)
+
+    @staticmethod
+    def _param_names(node: ast.AST) -> list[str]:
+        args = getattr(node, "args", None)
+        if args is None:
+            return []
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def _seed_types(self, node: ast.AST, scope: _Scope,
+                    module: ModuleInfo, func: FunctionInfo) -> None:
+        """Parameter annotations + ``self`` give receiver types for free."""
+        args = getattr(node, "args", None)
+        if args is not None:
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if arg.annotation is not None:
+                    dotted = self._annotation_name(arg.annotation)
+                    if dotted:
+                        resolved = self._resolve_chain_in_module(dotted, module)
+                        if resolved in self.classes:
+                            scope.types[arg.arg] = resolved
+        if func.class_name is not None:
+            class_qual = f"{func.module}.{func.class_name}"
+            params = self._param_names(node)
+            if params and class_qual in self.classes:
+                scope.types[params[0]] = class_qual
+
+    @staticmethod
+    def _annotation_name(annotation: ast.AST) -> Optional[str]:
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            return annotation.value.strip().split("[")[0] or None
+        if isinstance(annotation, ast.Subscript):
+            annotation = annotation.value
+        return ProjectGraph._dotted(annotation)
+
+    @staticmethod
+    def _acquire_lines(node: ast.AST) -> list[int]:
+        """Lines inside ``node`` that take a sim resource."""
+        lines = []
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in ACQUIRE_NAMES
+            ):
+                lines.append(inner.lineno)
+        return lines
+
+    # -- recording ---------------------------------------------------------
+
+    def _record_call(self, node: ast.Call, module: ModuleInfo,
+                     scope: _Scope, caller: str) -> None:
+        callee, external, heuristic = self._resolve_call(node, module, scope)
+        site = CallSite(
+            caller=caller,
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            callee=callee,
+            external=external,
+            heuristic=heuristic,
+            node=node,
+        )
+        self.calls.setdefault(caller, []).append(site)
+        self._maybe_process_root(node, module, scope, site)
+
+    def _resolve_call(self, node: ast.Call, module: ModuleInfo,
+                      scope: _Scope) -> tuple[Optional[str], Optional[str], bool]:
+        dotted = self._dotted(node.func)
+        if dotted is None:
+            return None, None, False
+        root, _, rest = dotted.partition(".")
+        # Typed receiver: sim.process(...) with sim: Simulator, or self.foo().
+        if rest and root in scope.types:
+            method = self._resolve_method_chain(scope.types[root], rest)
+            if method is not None:
+                return method, None, False
+            return None, None, False
+        # Locally-defined nested function.
+        if not rest and root in scope.nested:
+            return scope.nested[root], None, False
+        # Function-local variable of unknown type: try the unique-method
+        # fallback before giving up.
+        if root in scope.locals or root in scope.params:
+            if rest:
+                return self._unique_method(rest)
+            return None, None, False
+        resolved = self._resolve_chain_in_module(dotted, module)
+        if resolved is not None:
+            if resolved in self.classes:
+                init = self._resolve_method(resolved, "__init__")
+                return init or resolved, None, False
+            return resolved, None, False
+        # Known import but not a project symbol: it is an external call.
+        target = module.imports.get(root)
+        if target is not None and not target.startswith("."):
+            full = f"{target}.{rest}" if rest else target
+            return None, full, False
+        if not rest and target is None:
+            # Bare builtin-ish name (print, sorted, input...).
+            return None, root, False
+        if rest:
+            return self._unique_method(rest)
+        return None, None, False
+
+    def _resolve_method_chain(self, class_qual: str, rest: str) -> Optional[str]:
+        parts = rest.split(".")
+        # Only the final component is a call; intermediate attributes are
+        # untyped, so resolution succeeds only for single-step chains.
+        if len(parts) == 1:
+            return self._resolve_method(class_qual, parts[0])
+        return None
+
+    def _unique_method(self, rest: str) -> tuple[Optional[str], Optional[str], bool]:
+        method = rest.split(".")[-1]
+        owners = self._method_index.get(method, [])
+        if len(owners) == 1:
+            resolved = self._resolve_method(owners[0], method)
+            if resolved is not None:
+                return resolved, None, True
+        return None, None, False
+
+    def _maybe_process_root(self, node: ast.Call, module: ModuleInfo,
+                            scope: _Scope, site: CallSite) -> None:
+        """``<anything>.process(gen(...))`` marks ``gen`` as a sim root."""
+        func = node.func
+        is_registrar = (
+            isinstance(func, ast.Attribute) and func.attr in PROCESS_REGISTRARS
+        ) or (site.callee or "").endswith(".Process.__init__")
+        if not is_registrar:
+            return
+        for arg in node.args:
+            target: Optional[str] = None
+            if isinstance(arg, ast.Call):
+                target, _, _ = self._resolve_call(arg, module, scope)
+            elif isinstance(arg, (ast.Name, ast.Attribute)):
+                dotted = self._dotted(arg)
+                if dotted is not None:
+                    root, _, rest = dotted.partition(".")
+                    if not rest and root in scope.nested:
+                        target = scope.nested[root]
+                    elif rest and root in scope.types:
+                        target = self._resolve_method_chain(scope.types[root], rest)
+                    else:
+                        target = self._resolve_chain_in_module(dotted, module)
+            if target is not None and target in self.functions:
+                self.process_roots.setdefault(target, site)
+
+    def _record_assign(self, node: ast.AST, module: ModuleInfo, scope: _Scope,
+                       caller: str, func: Optional[FunctionInfo],
+                       guard_lines: Optional[list[int]] = None) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                scope.locals.add(target.id)
+                # x = ClassName(...) pins x's type for later method calls.
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    dotted = self._dotted(node.value.func)
+                    if dotted is not None:
+                        resolved = self._resolve_chain_in_module(dotted, module)
+                        if resolved in self.classes:
+                            scope.types[target.id] = resolved
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        scope.locals.add(elt.id)
+            elif isinstance(target, ast.Attribute) and func is not None:
+                self._record_attr_write(
+                    target, scope, caller, func, guard_lines or []
+                )
+
+    def _record_attr_write(self, target: ast.Attribute, scope: _Scope,
+                           caller: str, func: FunctionInfo,
+                           guard_lines: list[int]) -> None:
+        base = self._dotted(target.value)
+        if base is None:
+            return
+        root = base.split(".")[0]
+        if root in scope.locals and root not in scope.params:
+            return  # writes to function-local objects cannot race
+        params = self._param_names(func.node)
+        if func.class_name is not None and params and root == params[0]:
+            base_kind = "self"
+            share_key = (f"{func.module}.{func.class_name}", target.attr)
+        elif root in scope.params:
+            base_kind = "param"
+            typed = scope.types.get(root)
+            share_key = (typed or f"param:{root}", target.attr)
+        else:
+            base_kind = "global"
+            resolved = self._resolve_chain_in_module(
+                base, self.modules[func.module]
+            )
+            share_key = (resolved or f"{func.module}.{base}", target.attr)
+        self.attr_writes.setdefault(func.qualname, []).append(
+            AttrWrite(
+                function=func.qualname,
+                path=func.path,
+                line=target.lineno,
+                col=target.col_offset,
+                base=base,
+                attr=target.attr,
+                base_kind=base_kind,
+                share_key=share_key,
+                guarded=any(line < target.lineno for line in guard_lines),
+            )
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Transitive closure of project callees from ``roots``."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for site in self.calls.get(current, ()):
+                if site.callee and site.callee not in seen:
+                    stack.append(site.callee)
+        return seen
+
+    def sim_reachable(self) -> set[str]:
+        """Functions reachable from any sim process root."""
+        return self.reachable_from(sorted(self.process_roots))
+
+    def modules_by_path(self) -> dict[str, ModuleInfo]:
+        """Index the analyzed modules by file path."""
+        return {info.path: info for info in self.modules.values()}
+
+    def to_debug_dict(self) -> dict:
+        """JSON-friendly dump for the reporter's ``--dump-callgraph``."""
+        return {
+            "modules": sorted(self.modules),
+            "functions": sorted(self.functions),
+            "process_roots": sorted(self.process_roots),
+            "edges": {
+                caller: sorted(
+                    {s.callee for s in sites if s.callee}
+                    | {f"<ext>{s.external}" for s in sites if s.external}
+                )
+                for caller, sites in sorted(self.calls.items())
+                if sites
+            },
+        }
+
+
+def build_graph(paths: Iterable[str]) -> ProjectGraph:
+    """Parse every python file under ``paths`` into a linked ProjectGraph."""
+    graph = ProjectGraph()
+    for path in discover_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, UnicodeDecodeError):
+            continue  # unreadable files are reported by the per-file pass
+        graph.add_module(path, source)
+    graph.link()
+    return graph

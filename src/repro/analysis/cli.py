@@ -4,23 +4,36 @@ Exit codes are stable so CI can gate on them:
 
 * ``0`` -- no (non-baselined) findings
 * ``1`` -- findings reported (including files that fail to parse)
-* ``2`` -- usage error (unknown rule id, missing path, bad baseline file)
+* ``2`` -- usage error (unknown rule id, missing path, bad baseline file,
+  incoherent flag combinations)
+
+Two analysis passes share the same reporting/baseline/pragma machinery:
+the per-file pass always runs (parallelizable with ``--jobs``), and
+``--whole-program`` additionally builds the project call graph and runs
+the interprocedural rule pack (DET101/SIM101/RACE001) over it.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
+import os
 import sys
 from typing import Optional, Sequence
 
 from .baseline import Baseline, fingerprint_findings
-from .engine import LintEngine, discover_files
+from .callgraph import build_graph
+from .dataflow import TaintAnalysis, WholeProgramAnalyzer, flow_rules, flow_rules_by_id
+from .engine import Finding, LintEngine, Rule, discover_files
 from .reporter import render_json, render_text
 from .rules import default_rules, rules_by_id
 
 __all__ = ["build_parser", "main"]
 
 DEFAULT_BASELINE = ".vdaplint-baseline.json"
+
+#: Engine rebuilt once per worker process (initializer), not per file.
+_WORKER_ENGINE: Optional[LintEngine] = None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,9 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="vdaplint",
         description=(
             "AST-based determinism & safety linter for the OpenVDAP "
-            "reproduction: one shared tree walk, a rule pack enforcing the "
-            "platform's invariants, pragma suppression, and a baseline for "
-            "grandfathered findings."
+            "reproduction: one shared tree walk per file, an optional "
+            "whole-program taint pass over the project call graph, pragma "
+            "suppression, and a baseline for grandfathered findings."
         ),
     )
     parser.add_argument(
@@ -48,7 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--write-baseline", action="store_true",
-        help="record all current findings into the baseline file and exit 0",
+        help=(
+            "record all current findings into the baseline file (dropping "
+            "fingerprints that no longer match anything) and exit 0"
+        ),
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -63,6 +79,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help=(
+            "lint files with N worker processes (0 = one per CPU core); "
+            "findings stay in deterministic path-sorted order"
+        ),
+    )
+    parser.add_argument(
+        "--whole-program", action="store_true",
+        help=(
+            "also build the project-wide call graph and run the "
+            "interprocedural rules (DET101 sim-reachable wall-clock/RNG, "
+            "SIM101 sim-reachable blocking I/O, RACE001 shared-state races)"
+        ),
+    )
+    parser.add_argument(
+        "--dump-callgraph", action="store_true",
+        help="embed the resolved call graph in the report "
+             "(requires --whole-program)",
+    )
+    parser.add_argument(
+        "--dump-taint", action="store_true",
+        help="embed the per-function taint table in the report "
+             "(requires --whole-program)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -70,8 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _pick_rules(select: Optional[str], ignore: Optional[str],
-                parser: argparse.ArgumentParser):
-    catalogue = rules_by_id()
+                parser: argparse.ArgumentParser) -> tuple[list[Rule], list[Rule]]:
+    """Split the selection into (per-file rules, whole-program rules)."""
+    file_catalogue = rules_by_id()
+    flow_catalogue = flow_rules_by_id()
+    catalogue = {**file_catalogue, **flow_catalogue}
 
     def parse_ids(raw: str) -> list[str]:
         ids = [part.strip() for part in raw.split(",") if part.strip()]
@@ -81,14 +125,45 @@ def _pick_rules(select: Optional[str], ignore: Optional[str],
         return ids
 
     if select:
-        chosen = parse_ids(select)
-        rules = [catalogue[rule_id] for rule_id in chosen]
+        chosen = [catalogue[rule_id] for rule_id in parse_ids(select)]
     else:
-        rules = default_rules()
+        chosen = default_rules() + flow_rules()
     if ignore:
         skipped = set(parse_ids(ignore))
-        rules = [rule for rule in rules if rule.id not in skipped]
-    return rules
+        chosen = [rule for rule in chosen if rule.id not in skipped]
+    file_rules = [r for r in chosen if r.id in file_catalogue]
+    wp_rules = [r for r in chosen if r.id in flow_catalogue]
+    return file_rules, wp_rules
+
+
+def _init_worker(rule_ids: Sequence[str]) -> None:
+    global _WORKER_ENGINE
+    catalogue = rules_by_id()
+    _WORKER_ENGINE = LintEngine([catalogue[rule_id] for rule_id in rule_ids])
+
+
+def _lint_one(path: str) -> list[Finding]:
+    assert _WORKER_ENGINE is not None
+    return _WORKER_ENGINE.lint_file(path)
+
+
+def _lint_parallel(files: Sequence[str], rule_ids: Sequence[str],
+                   jobs: int) -> list[Finding]:
+    """Fan files out over worker processes; order is restored by sorting.
+
+    ``pool.map`` preserves input (path-sorted) order and the final
+    ``sorted`` pins intra-file ordering, so output is byte-identical to a
+    serial run regardless of worker scheduling.
+    """
+    jobs = min(jobs, len(files)) or 1
+    with multiprocessing.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(list(rule_ids),)
+    ) as pool:
+        per_file = pool.map(_lint_one, files)
+    findings: list[Finding] = []
+    for batch in per_file:
+        findings.extend(batch)
+    return sorted(findings)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -99,37 +174,89 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in default_rules():
             print(f"{rule.id}  {rule.name}: {rule.description}")
+        for rule in flow_rules():
+            print(f"{rule.id}  {rule.name} [whole-program]: {rule.description}")
         return 0
 
-    rules = _pick_rules(args.select, args.ignore, parser)
+    if (args.dump_callgraph or args.dump_taint) and not args.whole_program:
+        parser.error("--dump-callgraph/--dump-taint require --whole-program")
+
+    file_rules, wp_rules = _pick_rules(args.select, args.ignore, parser)
+    if args.select and wp_rules and not args.whole_program:
+        parser.error(
+            "whole-program rules selected "
+            f"({', '.join(sorted(r.id for r in wp_rules))}) "
+            "but --whole-program not given"
+        )
 
     try:
         files = discover_files(args.paths)
     except FileNotFoundError as err:
         parser.error(f"no such path: {err.args[0]}")
 
-    engine = LintEngine(rules)
-    findings = engine.lint_paths(args.paths)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    jobs = args.jobs or os.cpu_count() or 1
+    if jobs > 1 and len(files) > 1:
+        findings = _lint_parallel(files, [r.id for r in file_rules], jobs)
+    else:
+        findings = LintEngine(file_rules).lint_paths(args.paths)
+
+    debug: dict = {}
+    if args.whole_program:
+        graph = build_graph(args.paths)
+        analyzer = WholeProgramAnalyzer(wp_rules)
+        findings = sorted(findings + analyzer.analyze_graph(graph))
+        if args.dump_callgraph:
+            debug["callgraph"] = graph.to_debug_dict()
+        if args.dump_taint:
+            taint = analyzer.taint or TaintAnalysis(graph).run()
+            debug["taint"] = taint.to_debug_dict()
 
     if args.write_baseline:
-        Baseline(fingerprint_findings(findings)).save(args.baseline)
-        print(
+        previous = Baseline()
+        try:
+            previous = Baseline.load(args.baseline)
+        except ValueError:
+            pass  # corrupt old baseline: overwrite it wholesale
+        current = fingerprint_findings(findings)
+        dropped = len(previous.fingerprints - set(current))
+        Baseline(current).save(args.baseline)
+        message = (
             f"wrote {len(findings)} fingerprint"
             f"{'s' if len(findings) != 1 else ''} to {args.baseline}"
         )
+        if dropped:
+            message += f" ({dropped} stale dropped)"
+        print(message)
         return 0
 
     baselined_count = 0
-    if not args.strict:
+    stale_count = 0
+    if args.strict:
+        try:
+            existing = Baseline.load(args.baseline)
+        except ValueError:
+            existing = Baseline()
+        if len(existing):
+            print(
+                f"vdaplint: warning: --strict ignores the non-empty baseline "
+                f"{args.baseline} ({len(existing)} fingerprints); delete it "
+                "or re-run --write-baseline",
+                file=sys.stderr,
+            )
+    else:
         try:
             baseline = Baseline.load(args.baseline)
         except ValueError as err:
             parser.error(str(err))
+        stale_count = len(baseline.stale_fingerprints(findings))
         findings, grandfathered = baseline.partition(findings)
         baselined_count = len(grandfathered)
 
     render = render_json if args.format == "json" else render_text
-    print(render(findings, files_scanned=len(files), baselined=baselined_count))
+    print(render(findings, files_scanned=len(files), baselined=baselined_count,
+                 stale=stale_count, debug=debug or None))
     return 1 if findings else 0
 
 

@@ -1,0 +1,357 @@
+"""Interprocedural nondeterminism taint over the project call graph.
+
+The single-file rules (DET001/DET002/SIM001) flag a nondeterminism
+*source* at the line that contains it.  This pass answers the question
+they cannot: does sim-reachable code **transitively** hit such a source
+through any chain of project-internal calls?  Taint starts at external
+calls that match a source category and propagates backwards over the
+call graph to a fixpoint; each tainted function remembers the edge the
+taint arrived through, so findings can print the full witness chain
+(``drive -> helpers.stamp -> time.time()``).
+
+Flow rules emitted here:
+
+* **DET101** — a sim-reachable function calls a project function that
+  transitively reads the wall clock or global RNG state.
+* **SIM101** — a sim-reachable function calls a project function that
+  transitively performs blocking I/O, or itself blocks outside the
+  generator context the single-file SIM001 can see.
+* **RACE001** — a heuristic shared-state race detector: an attribute of
+  an object reachable from two or more sim processes is written without
+  an intervening resource acquisition.
+
+Findings are anchored at the call/write site (where a maintainer can
+act), deduplicated per (site, rule), and honor the same ``# vdaplint:``
+pragmas as the single-file pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .callgraph import AttrWrite, CallSite, ProjectGraph, build_graph
+from .engine import Finding, Pragmas, Rule
+from .rules import BlockingCallRule, WallClockRule
+
+__all__ = [
+    "TAINT_BLOCKING",
+    "TAINT_RNG",
+    "TAINT_WALL_CLOCK",
+    "FLOW_RULE_CLASSES",
+    "SimWallClockFlowRule",
+    "SimBlockingFlowRule",
+    "SharedStateRaceRule",
+    "TaintAnalysis",
+    "WholeProgramAnalyzer",
+    "flow_rules",
+    "flow_rules_by_id",
+]
+
+TAINT_WALL_CLOCK = "wall-clock"
+TAINT_RNG = "global-rng"
+TAINT_BLOCKING = "blocking-io"
+
+#: External blocking entry points; SIM001's generator set plus time.sleep.
+_BLOCKING = BlockingCallRule.GENERATOR_BANNED | BlockingCallRule.ALWAYS_BANNED
+
+
+def classify_source(external: str) -> Optional[str]:
+    """Taint category for an external dotted call target, if any."""
+    if external in WallClockRule.BANNED:
+        return TAINT_WALL_CLOCK
+    parts = external.split(".")
+    if parts[0] == "random" and len(parts) == 2:
+        return TAINT_RNG
+    if len(parts) == 3 and parts[:2] == ["numpy", "random"]:
+        from .rules import GlobalRngRule
+
+        if parts[2] in GlobalRngRule.NUMPY_GLOBAL:
+            return TAINT_RNG
+    if external in _BLOCKING:
+        return TAINT_BLOCKING
+    return None
+
+
+class SimWallClockFlowRule(Rule):
+    """DET101: sim-reachable code transitively reads wall clock / global RNG."""
+
+    id = "DET101"
+    name = "sim-taint-clock-rng"
+    description = (
+        "sim-reachable code calls a function that transitively reads the "
+        "wall clock or global RNG state (whole-program; needs --whole-program)"
+    )
+
+
+class SimBlockingFlowRule(Rule):
+    """SIM101: a sim process transitively performs blocking I/O."""
+
+    id = "SIM101"
+    name = "sim-taint-blocking"
+    description = (
+        "a sim process transitively calls blocking I/O through helper "
+        "functions (whole-program; needs --whole-program)"
+    )
+
+
+class SharedStateRaceRule(Rule):
+    """RACE001: unguarded attribute write on state shared by >= 2 processes."""
+
+    id = "RACE001"
+    name = "shared-state-race"
+    description = (
+        "an attribute reachable from two or more sim processes is written "
+        "without an intervening resource acquisition (heuristic; "
+        "whole-program; needs --whole-program)"
+    )
+
+
+FLOW_RULE_CLASSES = [SimWallClockFlowRule, SimBlockingFlowRule, SharedStateRaceRule]
+
+
+def flow_rules() -> list[Rule]:
+    """Fresh instances of the whole-program rule pack."""
+    return [cls() for cls in FLOW_RULE_CLASSES]
+
+
+def flow_rules_by_id() -> dict[str, Rule]:
+    """The whole-program rule catalogue, keyed by rule id."""
+    return {rule.id: rule for rule in flow_rules()}
+
+
+class TaintAnalysis:
+    """Backward taint propagation over a :class:`ProjectGraph`.
+
+    After :meth:`run`, ``taints[qualname]`` maps each tainted function to
+    ``{category: witness}`` where the witness is either the external
+    source name (direct) or the callee qualname the taint flowed in
+    through (transitive).
+    """
+
+    def __init__(self, graph: ProjectGraph):
+        self.graph = graph
+        self.taints: dict[str, dict[str, str]] = {}
+
+    def run(self) -> "TaintAnalysis":
+        worklist: list[str] = []
+        # Seed: functions whose own bodies hit an external source.
+        for caller in sorted(self.graph.calls):
+            for site in self.graph.calls[caller]:
+                if site.external is None:
+                    continue
+                category = classify_source(site.external)
+                if category is None:
+                    continue
+                slot = self.taints.setdefault(caller, {})
+                if category not in slot:
+                    slot[category] = site.external
+                    worklist.append(caller)
+        # Fixpoint: taint flows from callee to caller.
+        while worklist:
+            tainted = worklist.pop()
+            for caller in sorted(self.graph.callers.get(tainted, ())):
+                slot = self.taints.setdefault(caller, {})
+                changed = False
+                for category in sorted(self.taints.get(tainted, {})):
+                    if category not in slot:
+                        slot[category] = tainted
+                        changed = True
+                if changed:
+                    worklist.append(caller)
+        return self
+
+    def categories(self, qualname: str) -> set[str]:
+        return set(self.taints.get(qualname, ()))
+
+    def witness_chain(self, qualname: str, category: str,
+                      limit: int = 12) -> list[str]:
+        """The call chain from ``qualname`` down to the external source."""
+        chain = [qualname]
+        current = qualname
+        for _ in range(limit):
+            witness = self.taints.get(current, {}).get(category)
+            if witness is None:
+                break
+            chain.append(witness)
+            if witness not in self.taints:
+                break  # reached the external source
+            current = witness
+        return chain
+
+    def to_debug_dict(self) -> dict:
+        """JSON-friendly dump for the reporter's ``--dump-taint``."""
+        return {
+            qual: {cat: self.taints[qual][cat] for cat in sorted(self.taints[qual])}
+            for qual in sorted(self.taints)
+        }
+
+
+class WholeProgramAnalyzer:
+    """Runs the flow rule pack over a linked project graph."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None):
+        selected = list(rules) if rules is not None else flow_rules()
+        self.rules = {rule.id: rule for rule in selected}
+        self.graph: Optional[ProjectGraph] = None
+        self.taint: Optional[TaintAnalysis] = None
+
+    # -- entry points ------------------------------------------------------
+
+    def analyze_paths(self, paths: Iterable[str]) -> list[Finding]:
+        return self.analyze_graph(build_graph(paths))
+
+    def analyze_graph(self, graph: ProjectGraph) -> list[Finding]:
+        self.graph = graph
+        self.taint = TaintAnalysis(graph).run()
+        findings: list[Finding] = []
+        sim_set = graph.sim_reachable()
+        if "DET101" in self.rules or "SIM101" in self.rules:
+            findings.extend(self._taint_findings(sim_set))
+        if "RACE001" in self.rules:
+            findings.extend(self._race_findings(sim_set))
+        return sorted(self._apply_pragmas(findings))
+
+    # -- DET101 / SIM101 ---------------------------------------------------
+
+    def _taint_findings(self, sim_set: set[str]) -> list[Finding]:
+        graph, taint = self.graph, self.taint
+        findings = []
+        seen: set[tuple[str, int, str]] = set()
+        for func in sorted(sim_set):
+            for site in graph.calls.get(func, ()):
+                findings.extend(self._check_site(func, site, taint, seen))
+        return findings
+
+    def _check_site(self, func: str, site: CallSite, taint: TaintAnalysis,
+                    seen: set) -> list[Finding]:
+        out = []
+        if site.callee is not None:
+            categories = taint.categories(site.callee)
+            if "DET101" in self.rules and (
+                TAINT_WALL_CLOCK in categories or TAINT_RNG in categories
+            ):
+                category = (
+                    TAINT_WALL_CLOCK
+                    if TAINT_WALL_CLOCK in categories
+                    else TAINT_RNG
+                )
+                what = (
+                    "the wall clock" if category == TAINT_WALL_CLOCK
+                    else "global RNG state"
+                )
+                out.extend(self._emit(
+                    self.rules["DET101"], site, seen,
+                    f"sim-reachable `{func}` transitively reads {what} via "
+                    f"{self._chain(site.callee, category)}",
+                ))
+            if "SIM101" in self.rules and TAINT_BLOCKING in categories:
+                out.extend(self._emit(
+                    self.rules["SIM101"], site, seen,
+                    f"sim process code `{func}` transitively blocks via "
+                    f"{self._chain(site.callee, TAINT_BLOCKING)}",
+                ))
+        elif site.external is not None and "SIM101" in self.rules:
+            # Direct blocking call in a sim-reachable *non-generator* helper:
+            # SIM001 only sees generators, so this is whole-program-only.
+            info = self.graph.functions.get(func)
+            if (
+                info is not None
+                and not info.is_generator
+                and site.external in BlockingCallRule.GENERATOR_BANNED
+            ):
+                out.extend(self._emit(
+                    self.rules["SIM101"], site, seen,
+                    f"`{func}` is reachable from a sim process and calls "
+                    f"blocking `{site.external}()` directly",
+                ))
+        return out
+
+    def _chain(self, start: str, category: str) -> str:
+        chain = self.taint.witness_chain(start, category)
+        return " -> ".join([*chain[:-1], f"{chain[-1]}()"])
+
+    def _emit(self, rule: Rule, site: CallSite, seen: set,
+              message: str) -> list[Finding]:
+        key = (site.path, site.line, rule.id)
+        if key in seen:
+            return []
+        seen.add(key)
+        return [self._finding(rule, site.path, site.line, site.col, message)]
+
+    # -- RACE001 -----------------------------------------------------------
+
+    def _race_findings(self, sim_set: set[str]) -> list[Finding]:
+        graph = self.graph
+        # Which process roots reach each function?  (Only generator
+        # functions keep process identity; helpers inherit every caller's.)
+        roots_reaching: dict[str, set[str]] = {}
+        for root in sorted(graph.process_roots):
+            for func in graph.reachable_from([root]):
+                roots_reaching.setdefault(func, set()).add(root)
+        # Group candidate writes by the slot they touch.  Only writes in
+        # *generator* functions count: those are the process bodies whose
+        # interleaving the event loop controls, whereas constructor and
+        # plain-method writes (object setup, kernel bookkeeping) complete
+        # atomically within one event.
+        groups: dict[tuple[str, str], list[tuple[AttrWrite, set[str]]]] = {}
+        for func in sorted(graph.attr_writes):
+            roots = roots_reaching.get(func)
+            info = graph.functions.get(func)
+            if not roots or info is None or not info.is_generator:
+                continue
+            for write in graph.attr_writes[func]:
+                groups.setdefault(write.share_key, []).append((write, roots))
+        rule = self.rules["RACE001"]
+        findings = []
+        seen: set[tuple[str, int, str]] = set()
+        for share_key in sorted(groups):
+            writes = groups[share_key]
+            all_roots = sorted(set().union(*(roots for _w, roots in writes)))
+            if len(all_roots) < 2:
+                continue
+            for write, _roots in writes:
+                if write.guarded:
+                    continue
+                key = (write.path, write.line, rule.id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                owner, attr = share_key
+                findings.append(self._finding(
+                    rule, write.path, write.line, write.col,
+                    f"`{write.base}.{attr}` (shared slot `{owner}.{attr}`) is "
+                    f"written in `{write.function}` reachable from "
+                    f"{len(all_roots)} sim processes "
+                    f"({', '.join(all_roots[:3])}) without an intervening "
+                    "acquire; event-order dependent",
+                ))
+        return findings
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _finding(self, rule: Rule, path: str, line: int, col: int,
+                 message: str) -> Finding:
+        module = self.graph.modules_by_path().get(path)
+        snippet = ""
+        if module is not None:
+            lines = module.source.splitlines()
+            if 1 <= line <= len(lines):
+                snippet = lines[line - 1].strip()
+        return Finding(
+            path=path, line=line, col=col, rule=rule.id,
+            message=message, snippet=snippet,
+        )
+
+    def _apply_pragmas(self, findings: list[Finding]) -> list[Finding]:
+        by_path = self.graph.modules_by_path()
+        pragmas: dict[str, Pragmas] = {}
+        kept = []
+        for finding in findings:
+            module = by_path.get(finding.path)
+            if module is not None:
+                if finding.path not in pragmas:
+                    pragmas[finding.path] = Pragmas(module.source)
+                if pragmas[finding.path].suppressed(finding.line, finding.rule):
+                    continue
+            kept.append(finding)
+        return kept

@@ -27,8 +27,10 @@ from typing import Callable, Iterable, Optional, Sequence
 __all__ = [
     "Finding",
     "FileContext",
+    "Pragmas",
     "Rule",
     "LintEngine",
+    "SKIP_MARKER",
     "discover_files",
     "lint_source",
     "lint_paths",
@@ -42,6 +44,12 @@ PRAGMA_RE = re.compile(
 
 #: Rule id used for files that fail to parse.
 PARSE_ERROR_RULE = "E999"
+
+#: Dropping this marker file in a directory exempts it (and everything
+#: below it) from directory-walk discovery -- the opt-out for fixture
+#: corpora whose violations are deliberate.  Explicitly-named files are
+#: still linted.
+SKIP_MARKER = ".vdaplint-skip"
 
 
 @dataclass(frozen=True, order=True)
@@ -64,7 +72,7 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}"
 
 
-class _Pragmas:
+class Pragmas:
     """Parsed suppression pragmas for one file."""
 
     def __init__(self, source: str):
@@ -267,7 +275,7 @@ class LintEngine:
             ]
         ctx = FileContext(path, source, tree)
         self._walk(tree, ctx)
-        pragmas = _Pragmas(source)
+        pragmas = Pragmas(source)
         kept = [f for f in ctx.findings if not pragmas.suppressed(f.line, f.rule)]
         return sorted(kept)
 
@@ -318,6 +326,9 @@ def discover_files(paths: Iterable[str]) -> list[str]:
             # dirnames.sort() pins the walk order deterministically.
             for dirpath, dirnames, filenames in os.walk(path):  # vdaplint: disable=DET004
                 dirnames.sort()
+                if SKIP_MARKER in filenames:
+                    dirnames[:] = []  # do not descend further either
+                    continue
                 for fname in sorted(filenames):
                     if fname.endswith(".py"):
                         out.append(os.path.join(dirpath, fname))

@@ -1,9 +1,17 @@
-"""Finding reporters: grep-able text and machine-readable JSON."""
+"""Finding reporters: grep-able text and machine-readable JSON.
+
+The JSON document's top-level keys (``version``, ``files_scanned``,
+``baselined``, ``stale_baseline``, ``findings`` and the per-finding keys)
+are consumed by CI tooling and pinned by
+``tests/analysis/test_reporter_schema.py`` -- extend, never rename.
+Whole-program debug dumps (``callgraph``, ``taint``) appear only when
+requested on the CLI.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .engine import Finding
 
@@ -14,6 +22,8 @@ def render_text(
     findings: Sequence[Finding],
     files_scanned: int = 0,
     baselined: int = 0,
+    stale: int = 0,
+    debug: Optional[dict] = None,
 ) -> str:
     """One ``path:line:col: RULE message`` line per finding plus a summary."""
     lines = [
@@ -26,7 +36,16 @@ def render_text(
     )
     if baselined:
         summary += f" ({baselined} baselined, not shown)"
+    if stale:
+        summary += (
+            f" [{stale} stale baseline fingerprint{'s' if stale != 1 else ''}; "
+            "re-run --write-baseline to garbage-collect]"
+        )
     lines.append(summary)
+    if debug:
+        for section in sorted(debug):
+            lines.append(f"-- {section} --")
+            lines.append(json.dumps(debug[section], indent=2, sort_keys=True))
     return "\n".join(lines)
 
 
@@ -34,12 +53,15 @@ def render_json(
     findings: Sequence[Finding],
     files_scanned: int = 0,
     baselined: int = 0,
+    stale: int = 0,
+    debug: Optional[dict] = None,
 ) -> str:
     """A stable JSON document: counts plus one object per finding."""
     payload = {
         "version": 1,
         "files_scanned": files_scanned,
         "baselined": baselined,
+        "stale_baseline": stale,
         "findings": [
             {
                 "path": finding.path,
@@ -52,4 +74,6 @@ def render_json(
             for finding in sorted(findings)
         ],
     }
+    if debug:
+        payload.update(debug)
     return json.dumps(payload, indent=2)

@@ -418,14 +418,23 @@ class SilentExceptRule(Rule):
 
 
 class DunderAllRule(Rule):
-    """API001: ``__all__`` must exist in public modules and only name real things."""
+    """API001: ``__all__`` must exist in public modules and only name real things.
+
+    "Public" means importable library surface.  pytest-collected modules
+    (``test_*``, ``bench_*``, ``conftest``), scripts with an
+    ``if __name__ == "__main__"`` guard, and empty / docstring-only
+    modules (bare package markers) are nobody's import surface, so only
+    the honesty check (no ghost names) applies to them.
+    """
 
     id = "API001"
     name = "dunder-all"
     description = (
         "public modules must declare __all__, and every declared name must "
-        "be defined at module top level"
+        "be defined at module top level (test/bench/script modules exempt)"
     )
+
+    PYTEST_PREFIXES = ("test_", "bench_")
 
     def visit_Module(self, node: ast.Module, ctx: FileContext) -> None:
         module = ctx.module_name
@@ -439,6 +448,8 @@ class DunderAllRule(Rule):
                     if isinstance(target, ast.Name) and target.id == "__all__":
                         dunder_all = stmt
         if dunder_all is None:
+            if not self._requires_dunder_all(module, node):
+                return
             ctx.report_at(self, 1, 0, "public module missing __all__")
             return
         if any(
@@ -454,6 +465,35 @@ class DunderAllRule(Rule):
             if name not in defined:
                 ctx.report(self, dunder_all,
                            f"__all__ declares `{name}` but the module never defines it")
+
+    @classmethod
+    def _requires_dunder_all(cls, module: str, node: ast.Module) -> bool:
+        """Only importable library surface must declare ``__all__``."""
+        if module.startswith(cls.PYTEST_PREFIXES) or module == "conftest":
+            return False
+        body = node.body
+        if not body or (
+            len(body) == 1
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+        ):
+            return False  # empty or docstring-only package marker
+        for stmt in body:
+            if isinstance(stmt, ast.If) and cls._is_main_guard(stmt.test):
+                return False  # a script, not an import surface
+        return True
+
+    @staticmethod
+    def _is_main_guard(test: ast.AST) -> bool:
+        return (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__"
+            and any(
+                isinstance(comp, ast.Constant) and comp.value == "__main__"
+                for comp in test.comparators
+            )
+        )
 
     @classmethod
     def _top_level(cls, node: ast.AST) -> Iterable[ast.stmt]:

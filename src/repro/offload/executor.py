@@ -274,14 +274,17 @@ class DistributedExecutor:
                 if self.retry is None or attempt >= self.retry.max_attempts - 1:
                     done[name].fail(TaskFailure(str(fail)))
                     return
-                result.retries += 1
+                # Commutative counter bump: atomic within one event, same
+                # total whatever order task processes fire in.
+                result.retries += 1  # vdaplint: disable=RACE001
                 yield self.sim.timeout(self.retry.delay_s(attempt))
                 attempt += 1
                 if attempt >= self.retry.same_tier_attempts:
                     new_tier = self._failover_tier(tier, task.workload)
                     if new_tier != tier:
                         tier = new_tier
-                        result.replacements += 1
+                        # Same: order-insensitive counter increment.
+                        result.replacements += 1  # vdaplint: disable=RACE001
             except TaskFailure as fail:
                 done[name].fail(fail)
                 return

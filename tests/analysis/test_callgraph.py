@@ -1,0 +1,182 @@
+"""Call-graph mechanics: module naming, resolution, roots, reachability."""
+
+from repro.analysis import build_graph, infer_module_name
+
+
+def write(root, rel, text):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return str(path)
+
+
+def test_infer_module_name_walks_packages(tmp_path):
+    write(tmp_path, "pkg/__init__.py", "")
+    write(tmp_path, "pkg/sub/__init__.py", "")
+    mod = write(tmp_path, "pkg/sub/mod.py", "")
+    assert infer_module_name(mod) == "pkg.sub.mod"
+    assert infer_module_name(str(tmp_path / "pkg/sub/__init__.py")) == "pkg.sub"
+    assert infer_module_name(write(tmp_path, "script.py", "")) == "script"
+
+
+def test_calls_resolve_through_aliases_and_reexports(tmp_path):
+    write(tmp_path, "pkg/__init__.py", "from .core import ping\n")
+    write(tmp_path, "pkg/core.py", "def ping():\n    return 1\n")
+    write(
+        tmp_path, "main.py",
+        "import pkg\n"
+        "import pkg.core as c\n"
+        "from pkg.core import ping\n"
+        "\n"
+        "def a():\n    return c.ping()\n"
+        "\n"
+        "def b():\n    return ping()\n"
+        "\n"
+        "def d():\n    return pkg.ping()\n",
+    )
+    graph = build_graph([str(tmp_path)])
+    for caller in ("main.a", "main.b", "main.d"):
+        callees = {site.callee for site in graph.calls[caller]}
+        assert "pkg.core.ping" in callees, caller
+
+
+def test_relative_imports_resolve(tmp_path):
+    write(tmp_path, "pkg/__init__.py", "")
+    write(tmp_path, "pkg/core.py", "def ping():\n    return 1\n")
+    write(
+        tmp_path, "pkg/sib.py",
+        "from .core import ping\n\ndef call():\n    return ping()\n",
+    )
+    graph = build_graph([str(tmp_path)])
+    assert {s.callee for s in graph.calls["pkg.sib.call"]} == {"pkg.core.ping"}
+
+
+def test_self_annotation_and_constructor_types(tmp_path):
+    write(
+        tmp_path, "m.py",
+        "class Engine:\n"
+        "    def start(self):\n"
+        "        return self.spin()\n"
+        "    def spin(self):\n"
+        "        return 1\n"
+        "\n"
+        "def run(eng: Engine):\n"
+        "    return eng.start()\n"
+        "\n"
+        "def make():\n"
+        "    e = Engine()\n"
+        "    return e.spin()\n",
+    )
+    graph = build_graph([str(tmp_path)])
+    assert {s.callee for s in graph.calls["m.Engine.start"]} == {"m.Engine.spin"}
+    assert {s.callee for s in graph.calls["m.run"]} == {"m.Engine.start"}
+    assert "m.Engine.spin" in {s.callee for s in graph.calls["m.make"]}
+
+
+def test_base_class_method_resolution(tmp_path):
+    write(
+        tmp_path, "m.py",
+        "class Base:\n"
+        "    def tick(self):\n"
+        "        return 0\n"
+        "\n"
+        "class Derived(Base):\n"
+        "    def run(self):\n"
+        "        return self.tick()\n",
+    )
+    graph = build_graph([str(tmp_path)])
+    assert {s.callee for s in graph.calls["m.Derived.run"]} == {"m.Base.tick"}
+
+
+def test_unique_method_fallback_is_marked_heuristic(tmp_path):
+    write(
+        tmp_path, "m.py",
+        "class Radio:\n"
+        "    def transmit(self):\n"
+        "        return 1\n"
+        "\n"
+        "def send(r):\n"
+        "    return r.transmit()\n",
+    )
+    graph = build_graph([str(tmp_path)])
+    sites = [s for s in graph.calls["m.send"] if s.callee == "m.Radio.transmit"]
+    assert sites and sites[0].heuristic
+
+
+def test_process_roots_and_sim_reachability(tmp_path):
+    write(
+        tmp_path, "m.py",
+        "def helper():\n"
+        "    return 2\n"
+        "\n"
+        "def worker(sim):\n"
+        "    yield sim.timeout(1.0)\n"
+        "\n"
+        "def driver(sim):\n"
+        "    helper()\n"
+        "    yield sim.timeout(1.0)\n"
+        "\n"
+        "def cold():\n"
+        "    return helper()\n"
+        "\n"
+        "def main(sim):\n"
+        "    sim.process(worker(sim))\n"
+        "    sim.process(driver(sim))\n",
+    )
+    graph = build_graph([str(tmp_path)])
+    assert set(graph.process_roots) == {"m.worker", "m.driver"}
+    reachable = graph.sim_reachable()
+    assert {"m.worker", "m.driver", "m.helper"} <= reachable
+    assert "m.cold" not in reachable and "m.main" not in reachable
+    assert graph.functions["m.worker"].is_generator
+    assert not graph.functions["m.helper"].is_generator
+
+
+def test_external_calls_are_recorded_not_guessed(tmp_path):
+    write(
+        tmp_path, "m.py",
+        "import time\n\ndef now():\n    return time.time()\n",
+    )
+    graph = build_graph([str(tmp_path)])
+    sites = graph.calls["m.now"]
+    assert [s.external for s in sites] == ["time.time"]
+    assert all(s.callee is None for s in sites)
+
+
+def test_attr_writes_classify_receivers(tmp_path):
+    write(
+        tmp_path, "m.py",
+        "TOTALS = None\n"
+        "\n"
+        "class Box:\n"
+        "    def fill(self, item):\n"
+        "        self.item = item\n"
+        "\n"
+        "def direct(box: Box):\n"
+        "    local = Box()\n"
+        "    local.item = 1\n"
+        "    box.item = 2\n"
+        "    TOTALS.count = 3\n",
+    )
+    graph = build_graph([str(tmp_path)])
+    method_writes = graph.attr_writes["m.Box.fill"]
+    assert [(w.base_kind, w.share_key) for w in method_writes] == [
+        ("self", ("m.Box", "item"))
+    ]
+    by_base = {w.base: w for w in graph.attr_writes["m.direct"]}
+    assert "local" not in by_base  # locals cannot race
+    assert by_base["box"].base_kind == "param"
+    assert by_base["box"].share_key == ("m.Box", "item")
+    assert by_base["TOTALS"].base_kind == "global"
+
+
+def test_debug_dict_is_sorted_and_json_friendly(tmp_path):
+    import json
+
+    write(tmp_path, "b.py", "def one():\n    return 1\n")
+    write(tmp_path, "a.py", "from b import one\n\ndef two():\n    return one()\n")
+    graph = build_graph([str(tmp_path)])
+    dump = graph.to_debug_dict()
+    assert dump["modules"] == sorted(dump["modules"])
+    assert "b.one" in dump["edges"]["a.two"]
+    json.dumps(dump)  # must be serializable as-is

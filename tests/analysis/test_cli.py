@@ -97,3 +97,58 @@ def test_syntax_error_exits_one(tree, capsys):
     (tree / "broken.py").write_text("def broken(:\n")
     assert main(["broken.py"]) == 1
     assert "E999" in capsys.readouterr().out
+
+
+def test_parallel_jobs_output_matches_serial(tree, capsys):
+    (tree / "dirty2.py").write_text(DIRTY.replace("time.time", "time.monotonic"))
+    serial_code = main(["."])
+    serial_out = capsys.readouterr().out
+    parallel_code = main([".", "--jobs", "2"])
+    parallel_out = capsys.readouterr().out
+    assert serial_code == parallel_code == 1
+    assert serial_out == parallel_out
+
+
+def test_jobs_zero_means_cpu_count(tree, capsys):
+    assert main(["dirty.py", "--jobs", "0"]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_dump_flags_require_whole_program(tree):
+    for flag in ("--dump-callgraph", "--dump-taint"):
+        with pytest.raises(SystemExit) as exc:
+            main(["clean.py", flag])
+        assert exc.value.code == 2
+
+
+def test_flow_rule_selection_requires_whole_program(tree):
+    with pytest.raises(SystemExit) as exc:
+        main(["clean.py", "--select", "DET101"])
+    assert exc.value.code == 2
+
+
+def test_list_rules_tags_whole_program_pack(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET101", "SIM101", "RACE001"):
+        assert rule_id in out
+    assert "[whole-program]" in out
+
+
+def test_whole_program_cli_flags_fixture_corpus(capsys):
+    corpus = os.path.join(
+        os.path.dirname(__file__), "wp_fixtures", "det101_clock_helper"
+    )
+    assert main([corpus, "--whole-program", "--select", "DET101",
+                 "--strict", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in payload["findings"]} == {"DET101"}
+
+
+def test_whole_program_debug_dumps_land_in_json(tree, capsys):
+    assert main(["dirty.py", "--whole-program", "--format", "json",
+                 "--dump-callgraph", "--dump-taint", "--strict"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert "callgraph" in payload and "taint" in payload
+    assert "dirty.f" in payload["callgraph"]["functions"]
+    assert "wall-clock" in payload["taint"].get("dirty.f", [])

@@ -1,0 +1,127 @@
+"""Whole-program corpus: DET101/SIM101/RACE001 catch what single-file misses.
+
+Each directory under ``wp_fixtures/`` is a miniature multi-module project
+whose violations only appear once calls are traced across files.  Lines
+carry ``# expect-wp: RULE`` annotations; the analyzer must report exactly
+those (file, line, rule) triples -- and the PR 2 single-file rule pack
+must report *nothing* at those coordinates, which is the point.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.analysis import (
+    LintEngine,
+    WholeProgramAnalyzer,
+    build_graph,
+    default_rules,
+    flow_rules,
+)
+
+WP_DIR = os.path.join(os.path.dirname(__file__), "wp_fixtures")
+CASES = sorted(
+    name
+    for name in os.listdir(WP_DIR)
+    if os.path.isdir(os.path.join(WP_DIR, name))
+)
+EXPECT_RE = re.compile(r"#\s*expect-wp:\s*([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)")
+
+
+def _case_files(case):
+    root = os.path.join(WP_DIR, case)
+    return sorted(
+        os.path.join(root, name)
+        for name in os.listdir(root)
+        if name.endswith(".py")
+    )
+
+
+def _expected(case):
+    triples = set()
+    for path in _case_files(case):
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                match = EXPECT_RE.search(line)
+                if match:
+                    for rule in re.split(r"\s*,\s*", match.group(1)):
+                        triples.add((os.path.basename(path), lineno, rule))
+    return triples
+
+
+def test_corpus_has_three_cross_module_cases():
+    assert CASES == sorted(CASES)
+    fired = {rule for case in CASES for (_, _, rule) in _expected(case)}
+    assert fired == {"DET101", "SIM101", "RACE001"}
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_findings_match_annotations_exactly(case):
+    analyzer = WholeProgramAnalyzer(flow_rules())
+    findings = analyzer.analyze_paths([os.path.join(WP_DIR, case)])
+    actual = {
+        (os.path.basename(f.path), f.line, f.rule) for f in findings
+    }
+    assert actual == _expected(case)
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_single_file_rules_miss_every_annotated_site(case):
+    engine = LintEngine(default_rules())
+    for path in _case_files(case):
+        flagged_lines = {f.line for f in engine.lint_file(path)}
+        annotated = {
+            line
+            for (fname, line, _) in _expected(case)
+            if fname == os.path.basename(path)
+        }
+        assert not (flagged_lines & annotated), path
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_findings_carry_witness_chains(case):
+    analyzer = WholeProgramAnalyzer(flow_rules())
+    for finding in analyzer.analyze_paths([os.path.join(WP_DIR, case)]):
+        if finding.rule in ("DET101", "SIM101"):
+            assert "via" in finding.message or "directly" in finding.message
+        if finding.rule == "RACE001":
+            assert "process" in finding.message
+
+
+def test_pragma_suppresses_whole_program_findings(tmp_path):
+    (tmp_path / "src.py").write_text(
+        "import time\n"
+        "\n"
+        "def now():\n"
+        "    return time.time()\n"
+        "\n"
+        "def proc(sim):\n"
+        "    now()  # vdaplint: disable=DET101\n"
+        "    yield sim.timeout(1.0)\n"
+        "\n"
+        "def launch(sim):\n"
+        "    sim.process(proc(sim))\n"
+    )
+    analyzer = WholeProgramAnalyzer(flow_rules())
+    assert analyzer.analyze_paths([str(tmp_path)]) == []
+
+
+def test_taint_debug_dump_names_sources(tmp_path):
+    from repro.analysis import TaintAnalysis
+
+    (tmp_path / "src.py").write_text(
+        "import time\n"
+        "\n"
+        "def now():\n"
+        "    return time.time()\n"
+        "\n"
+        "def wrapper():\n"
+        "    return now()\n"
+    )
+    graph = build_graph([str(tmp_path)])
+    taint = TaintAnalysis(graph)
+    taint.run()
+    dump = taint.to_debug_dict()
+    assert "src.now" in dump and "src.wrapper" in dump
+    assert "wall-clock" in dump["src.wrapper"]

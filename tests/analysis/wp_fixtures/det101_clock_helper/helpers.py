@@ -1,0 +1,22 @@
+"""Helpers that hide nondeterminism sources behind module-local hops.
+
+Single-file DET001/DET002 fire *here*, at the raw source lines -- but a
+caller in another module sees only innocent function calls.
+"""
+
+import random
+import time
+
+
+def raw_stamp():
+    return time.time()
+
+
+def stamp():
+    # One more hop: callers of stamp() are two edges from the source.
+    # (stamp is itself sim-reachable, so its tainted call is flagged too.)
+    return raw_stamp()  # expect-wp: DET101
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,19 @@
+"""A sim process that transitively reads wall clock and global RNG.
+
+Nothing in this file touches ``time`` or ``random`` directly, so the
+PR 2 single-file rules see a clean module; only the whole-program taint
+pass connects ``stamp()`` back to ``time.time()`` two modules-hops away.
+"""
+
+from helpers import jitter, stamp
+
+
+def drive(sim):
+    mark = stamp()  # expect-wp: DET101
+    delay = jitter()  # expect-wp: DET101
+    yield sim.timeout(1.0 + delay)
+    return mark
+
+
+def launch(sim):
+    return sim.process(drive(sim))

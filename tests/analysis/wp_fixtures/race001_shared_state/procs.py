@@ -1,0 +1,33 @@
+"""Two sim processes write the same SharedCache slot, unguarded.
+
+``writer_a`` / ``writer_b`` both assign ``cache.hot_key`` after waking
+from a timeout: whichever event fires second wins, so the final value
+depends on event ordering.  ``guarded_writer`` takes the lock first,
+which the race heuristic credits as an intervening acquisition.
+"""
+
+from state import SharedCache
+
+
+def writer_a(sim, cache: SharedCache):
+    yield sim.timeout(1.0)
+    cache.hot_key = "a"  # expect-wp: RACE001
+
+
+def writer_b(sim, cache: SharedCache):
+    yield sim.timeout(2.0)
+    cache.hot_key = "b"  # expect-wp: RACE001
+
+
+def guarded_writer(sim, lock, cache: SharedCache):
+    token = lock.request()
+    yield token
+    cache.hot_key = "exclusive"  # guarded: no finding
+    lock.release(token)
+
+
+def launch(sim, lock):
+    cache = SharedCache()
+    sim.process(writer_a(sim, cache))
+    sim.process(writer_b(sim, cache))
+    sim.process(guarded_writer(sim, lock, cache))

@@ -1,0 +1,7 @@
+"""A mutable cache object shared by every process in the scenario."""
+
+
+class SharedCache:
+    def __init__(self):
+        self.hot_key = None
+        self.total = 0

@@ -1,0 +1,12 @@
+"""Blocking I/O hidden inside a plain (non-generator) helper.
+
+SIM001 only inspects generator bodies, so this function is invisible to
+the single-file pass; the whole-program pass flags it once some sim
+process can reach it.
+"""
+
+import urllib.request
+
+
+def fetch(url):
+    return urllib.request.urlopen(url).read()  # expect-wp: SIM101

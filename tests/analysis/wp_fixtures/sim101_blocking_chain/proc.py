@@ -1,0 +1,13 @@
+"""A sim process that stalls the event loop through a helper call."""
+
+from io_helper import fetch
+
+
+def poller(sim):
+    while True:
+        fetch("http://edge.invalid/frame")  # expect-wp: SIM101
+        yield sim.timeout(1.0)
+
+
+def start(sim):
+    return sim.process(poller(sim))

@@ -10,6 +10,7 @@ storms.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import DeterminismSanitizer
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.sim import Simulator
 
@@ -70,12 +71,19 @@ def test_injector_replay_is_deterministic(seed):
         cloud=True,
     )
     traces = []
+    sanitizers = []
     for _ in range(2):
         sim = Simulator()
+        sanitizer = DeterminismSanitizer(sim)
         injector = FaultInjector(sim, plan)
         sim.run()
         traces.append(injector.trace_text())
+        sanitizers.append(sanitizer)
     assert traces[0] == traces[1]
+    # The runtime sanitizer cross-checks the injector's own trace: the
+    # full event-loop schedule must also be bit-identical across replays.
+    assert sanitizers[0].trace_hash == sanitizers[1].trace_hash
+    assert sanitizers[0].diff(sanitizers[1]) is None
     # Every outage onset in the plan appears as a logged down-transition
     # (slowdowns and degradations log under their own labels).
     outage_kinds = (

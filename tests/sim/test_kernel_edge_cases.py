@@ -69,7 +69,9 @@ def test_interrupt_while_waiting_on_resource_detaches_cleanly():
         try:
             yield req
             state.append("granted")
-        except BaseException:
+        # Deliberately broad: the test must catch Interrupt (a BaseException
+        # subclass here) however the kernel delivers it, and records it below.
+        except BaseException:  # vdaplint: disable=RES001
             res.release(req)  # cancel the queued claim
             state.append("cancelled")
 

@@ -83,8 +83,10 @@ def test_every_module_has_a_docstring():
 
     root = os.path.dirname(repro.__file__)
     missing = []
-    for dirpath, _dirs, files in os.walk(root):
-        for fname in files:
+    # dirs.sort() pins the walk (and the failure message) deterministically.
+    for dirpath, dirs, files in os.walk(root):  # vdaplint: disable=DET004
+        dirs.sort()
+        for fname in sorted(files):
             if not fname.endswith(".py"):
                 continue
             path = os.path.join(dirpath, fname)
