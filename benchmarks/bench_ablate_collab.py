@@ -9,8 +9,9 @@ of recognition compute saved against non-collaborating vehicles.
 import numpy as np
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.apps import Platoon, PlateSighting, generate_sightings
+from repro.obs import Report
 
 SIZES = (2, 3, 5)
 OVERLAPS = (0.3, 0.6, 0.9)
@@ -51,11 +52,14 @@ def sweep():
 def test_collaboration_sweep(benchmark):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    lines = ["A5 -- V2V collaboration: recognition compute saved",
-             f"{'platoon':>8s}{'overlap':>9s}{'reuse rate':>12s}{'compute saved':>15s}"]
+    report = Report("ablate_collab", "A5 -- V2V collaboration: recognition compute saved")
+    report.add_column("platoon", 8, "d")
+    report.add_column("overlap", 9, ".1f")
+    report.add_column("reuse_rate", 12, ".2f", header="reuse rate")
+    report.add_column("saved", 15, ".1%", header="compute saved")
     for size, overlap, reuse, saved in rows:
-        lines.append(f"{size:>8d}{overlap:>9.1f}{reuse:>12.2f}{saved:>15.1%}")
-    write_report("ablate_collab", lines)
+        report.add_row(platoon=size, overlap=overlap, reuse_rate=reuse, saved=saved)
+    persist_report(report)
 
     # Savings grow with overlap at fixed size...
     for size in SIZES:

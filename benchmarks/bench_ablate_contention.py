@@ -11,8 +11,9 @@ Two questions the platform must answer honestly:
 
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.hw import WorkloadClass
+from repro.obs import Report
 from repro.offload import DistributedExecutor, Placement, Task, TaskGraph, evaluate_placement
 from repro.sim import Simulator
 from repro.topology import Tier, build_default_world
@@ -58,14 +59,21 @@ def sweep():
 def test_contention_validation(benchmark):
     rows = benchmark(sweep)
 
-    lines = ["A9 -- analytic placement model vs distributed execution "
-             "(vehicle->edge split pipeline)",
-             f"{'concurrent jobs':>16s}{'analytic ms':>13s}{'best ms':>9s}{'p95 ms':>8s}"]
+    report = Report(
+        "ablate_contention",
+        "A9 -- analytic placement model vs distributed execution "
+        "(vehicle->edge split pipeline)",
+    )
+    report.add_column("load", 16, "d", header="concurrent jobs")
+    report.add_column("analytic_ms", 13, ".1f", header="analytic ms")
+    report.add_column("best_ms", 9, ".1f", header="best ms")
+    report.add_column("p95_ms", 8, ".1f", header="p95 ms")
     for load, analytic, best, p95 in rows:
-        lines.append(
-            f"{load:>16d}{analytic * 1e3:>13.1f}{best * 1e3:>9.1f}{p95 * 1e3:>8.1f}"
+        report.add_row(
+            load=load, analytic_ms=analytic * 1e3, best_ms=best * 1e3,
+            p95_ms=p95 * 1e3,
         )
-    write_report("ablate_contention", lines)
+    persist_report(report)
 
     # Validation: a lone job executes exactly at the analytic prediction.
     load1 = rows[0]

@@ -9,8 +9,9 @@ modelled response latency, plus the disk-only baseline.
 import numpy as np
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.ddi import DDIService, DiskDB, Record
+from repro.obs import Report
 
 TTLS = (5.0, 30.0, 120.0, 600.0)
 DRIVE_SECONDS = 600
@@ -52,13 +53,18 @@ def test_ddi_cache_sweep(benchmark, tmp_path):
         rounds=1, iterations=1,
     )
 
-    lines = ["A4 -- DDI two-tier storage: cache TTL sweep "
-             f"({DRIVE_SECONDS}s drive, {QUERIES} recency-skewed queries)",
-             f"{'cache TTL s':>12s}{'hit rate':>10s}{'mean latency ms':>17s}"]
+    report = Report(
+        "ablate_ddi",
+        "A4 -- DDI two-tier storage: cache TTL sweep "
+        f"({DRIVE_SECONDS}s drive, {QUERIES} recency-skewed queries)",
+    )
+    report.add_column("ttl", 12, ".0f", header="cache TTL s")
+    report.add_column("hit_rate", 10, ".2f", header="hit rate")
+    report.add_column("latency_ms", 17, ".2f", header="mean latency ms")
     for ttl, hit_rate, latency in rows:
-        lines.append(f"{ttl:>12.0f}{hit_rate:>10.2f}{latency * 1e3:>17.2f}")
-    lines.append(f"{'disk only':>12s}{0.0:>10.2f}{20.0:>17.2f}")
-    write_report("ablate_ddi", lines)
+        report.add_row(ttl=ttl, hit_rate=hit_rate, latency_ms=latency * 1e3)
+    report.add_row(ttl="disk only", hit_rate=0.0, latency_ms=20.0)
+    persist_report(report)
 
     hit_rates = [hit for _ttl, hit, _lat in rows]
     latencies = [lat for _ttl, _hit, lat in rows]

@@ -10,8 +10,9 @@ the burst and energy drawn.
 
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.hw import WorkloadClass, catalog
+from repro.obs import Report
 from repro.offload import Task, TaskGraph
 from repro.sim import Simulator
 from repro.vcu import DSF, MHEP
@@ -55,11 +56,15 @@ def test_dsf_policies(benchmark):
         rounds=1, iterations=1,
     )
 
-    lines = ["A6 -- DSF scheduling policy on a 24-task heterogeneous burst",
-             f"{'policy':14s}{'makespan s':>12s}{'energy J':>10s}"]
+    report = Report(
+        "ablate_dsf", "A6 -- DSF scheduling policy on a 24-task heterogeneous burst"
+    )
+    report.add_column("policy", 14)
+    report.add_column("makespan_s", 12, ".2f", header="makespan s")
+    report.add_column("energy_j", 10, ".1f", header="energy J")
     for policy, makespan, energy in rows:
-        lines.append(f"{policy:14s}{makespan:>12.2f}{energy:>10.1f}")
-    write_report("ablate_dsf", lines)
+        report.add_row(policy=policy, makespan_s=makespan, energy_j=energy)
+    persist_report(report)
 
     makespans = {policy: makespan for policy, makespan, _e in rows}
     assert makespans["eft"] <= makespans["fastest"], (

@@ -13,8 +13,9 @@ pipeline switches.  The elastic policy should dominate both static pins.
 import numpy as np
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.apps import make_adas_service
+from repro.obs import Report
 from repro.edgeos import ElasticManager
 from repro.hw import catalog
 from repro.offload.placement import evaluate_placement
@@ -69,14 +70,21 @@ def run_drive():
 def test_elastic_adaptivity(benchmark):
     stats = benchmark(run_drive)
 
-    lines = ["A2 -- Elastic Management vs pinned pipelines "
-             f"({DRIVE_SECONDS}s drive, deadline {DEADLINE_S * 1e3:.0f} ms)",
-             f"{'policy':26s}{'mean latency ms':>16s}{'violations':>12s}{'switches':>10s}"]
+    report = Report(
+        "ablate_elastic",
+        "A2 -- Elastic Management vs pinned pipelines "
+        f"({DRIVE_SECONDS}s drive, deadline {DEADLINE_S * 1e3:.0f} ms)",
+    )
+    report.add_column("policy", 26)
+    report.add_column("mean_ms", 16, ".1f", header="mean latency ms")
+    report.add_column("violations", 12, "d")
+    report.add_column("switches", 10, "d")
     for name, (mean_latency, violations, switches) in stats.items():
-        lines.append(
-            f"{name:26s}{mean_latency * 1e3:>16.1f}{violations:>12d}{switches:>10d}"
+        report.add_row(
+            policy=name, mean_ms=mean_latency * 1e3, violations=violations,
+            switches=switches,
         )
-    write_report("ablate_elastic", lines)
+    persist_report(report)
 
     elastic = stats["elastic"]
     for name, row in stats.items():

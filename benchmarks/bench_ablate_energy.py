@@ -9,8 +9,9 @@ the EV range given up.
 
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.hw import EVBattery, WorkloadClass, catalog
+from repro.obs import Report
 from repro.workloads import adas_frame_graph
 
 DRIVE_HOURS = 1.0
@@ -56,14 +57,23 @@ def sweep():
 def test_energy_and_range(benchmark):
     rows = benchmark(sweep)
 
-    lines = ["A8 -- on-board compute energy over a 1 h drive at 10 ADAS fps",
-             f"{'configuration':22s}{'energy kJ':>11s}{'duty':>7s}{'max fps':>9s}{'range cost km':>15s}{'  sustains?':>12s}"]
+    report = Report(
+        "ablate_energy",
+        "A8 -- on-board compute energy over a 1 h drive at 10 ADAS fps",
+    )
+    report.add_column("configuration", 22)
+    report.add_column("energy_kj", 11, ".1f", header="energy kJ")
+    report.add_column("duty", 7, ".2f")
+    report.add_column("max_fps", 9, ".1f", header="max fps")
+    report.add_column("range_km", 15, ".3f", header="range cost km")
+    report.add_column("sustains", 12, header="sustains?", align="right")
     for label, joules, duty, max_fps, range_cost in rows:
-        lines.append(
-            f"{label:22s}{joules / 1e3:>11.1f}{duty:>7.2f}{max_fps:>9.1f}"
-            f"{range_cost:>15.3f}{'yes' if max_fps >= FPS else 'NO':>12s}"
+        report.add_row(
+            configuration=label, energy_kj=joules / 1e3, duty=duty,
+            max_fps=max_fps, range_km=range_cost,
+            sustains="yes" if max_fps >= FPS else "NO",
         )
-    write_report("ablate_energy", lines)
+    persist_report(report)
 
     by_label = {label: (joules, duty, fps, km) for label, joules, duty, fps, km in rows}
     v100 = by_label["V100 on board"]

@@ -16,8 +16,9 @@ because the plan is seed-deterministic, this table reproduces exactly.
 
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.analysis import DeterminismSanitizer
+from repro.obs import Report
 from repro.faults import (
     FaultInjector,
     FaultKind,
@@ -117,25 +118,34 @@ def test_resilience_ablation(benchmark):
     off = run_drive(plan, resilient=False)
     on = benchmark(run_drive, plan, resilient=True)
 
-    lines = [
+    report = Report(
+        "ablate_faults",
         f"A10 -- resilience ablation under one seeded fault storm "
         f"(seed {SEED}, {DRIVE_SECONDS}s, {len(plan)} fault windows, "
         f"deadline {DEADLINE_S:.0f}s)",
-        f"{'policy':18s}{'completed':>10s}{'rate':>8s}{'deadline-hit':>14s}"
-        f"{'retries':>9s}{'failovers':>11s}{'mean lat s':>12s}",
-    ]
+    )
+    report.add_column("policy", 18)
+    report.add_column("completed", 10, align="right")
+    report.add_column("rate", 8, ".0%")
+    report.add_column("deadline_hits", 14, "d", header="deadline-hit")
+    report.add_column("retries", 9, "d")
+    report.add_column("failovers", 11, "d")
+    report.add_column("mean_latency_s", 12, ".3f", header="mean lat s")
     for name, row in (("fail-fast", off), ("resilient", on)):
-        lines.append(
-            f"{name:18s}{row['completed']:>7d}/{row['jobs']:<3d}"
-            f"{row['completed'] / row['jobs']:>7.0%}"
-            f"{row['deadline_hits']:>14d}{row['retries']:>9d}"
-            f"{row['failovers']:>11d}{row['mean_latency_s']:>12.3f}"
+        report.add_row(
+            policy=name,
+            completed=f"{row['completed']}/{row['jobs']}",
+            rate=row["completed"] / row["jobs"],
+            deadline_hits=row["deadline_hits"],
+            retries=row["retries"],
+            failovers=row["failovers"],
+            mean_latency_s=row["mean_latency_s"],
         )
-    lines.append(
+    report.note(
         f"event-loop trace hashes: fail-fast {off['trace_hash']}, "
         f"resilient {on['trace_hash']}"
     )
-    write_report("ablate_faults", lines)
+    persist_report(report)
 
     # The storm must actually hurt the fail-fast executor...
     assert off["completed"] < off["jobs"]

@@ -14,8 +14,9 @@ the two characteristic behaviours:
 
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.hw import catalog
+from repro.obs import Report
 from repro.offload import best_split, inception_v3_layers, speech_encoder_layers
 from repro.topology import build_default_world
 
@@ -44,15 +45,22 @@ def sweep():
 def test_layersplit_crossover(benchmark):
     rows = benchmark(sweep)
 
-    lines = ["A7 -- latency-optimal layer split vs vehicle<->edge bandwidth "
-             "(weak on-board VPU)",
-             f"{'model':16s}{'bandwidth Mbps':>15s}{'cut':>7s}{'latency ms':>12s}{'uplink KB':>11s}"]
+    report = Report(
+        "ablate_layersplit",
+        "A7 -- latency-optimal layer split vs vehicle<->edge bandwidth "
+        "(weak on-board VPU)",
+    )
+    report.add_column("model", 16)
+    report.add_column("bandwidth", 15, ".2f", header="bandwidth Mbps")
+    report.add_column("cut", 7, align="right")
+    report.add_column("latency_ms", 12, ".1f", header="latency ms")
+    report.add_column("uplink_kb", 11, ".0f", header="uplink KB")
     for model, bandwidth, cut, n, latency, uplink in rows:
-        lines.append(
-            f"{model:16s}{bandwidth:>15.2f}{f'{cut}/{n}':>7s}"
-            f"{latency * 1e3:>12.1f}{uplink / 1e3:>11.0f}"
+        report.add_row(
+            model=model, bandwidth=bandwidth, cut=f"{cut}/{n}",
+            latency_ms=latency * 1e3, uplink_kb=uplink / 1e3,
         )
-    write_report("ablate_layersplit", lines)
+    persist_report(report)
 
     inception = [(bw, cut) for m, bw, cut, *_r in rows if m == "inception_v3"]
     speech = [(bw, cut) for m, bw, cut, *_r in rows if m == "speech_encoder"]

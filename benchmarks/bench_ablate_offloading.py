@@ -9,8 +9,9 @@ energy, plus deadline hit rates.
 
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.hw import catalog
+from repro.obs import Report
 from repro.offload import CloudOnly, DynamicVDAP, EdgeOnly, Greedy, LocalOnly
 from repro.topology import build_default_world
 from repro.workloads import STANDARD_MIX
@@ -46,14 +47,21 @@ def test_offloading_architectures(benchmark):
     world = build_world()
     table = benchmark(run_mix, world)
 
-    lines = ["A1 -- offloading architecture comparison (standard 4-service mix)",
-             f"{'strategy':14s}{'sum latency s':>14s}{'uplink KB':>11s}{'veh. energy J':>15s}{'deadlines':>11s}"]
+    report = Report(
+        "ablate_offloading",
+        "A1 -- offloading architecture comparison (standard 4-service mix)",
+    )
+    report.add_column("strategy", 14)
+    report.add_column("latency_s", 14, ".3f", header="sum latency s")
+    report.add_column("uplink_kb", 11, ".0f", header="uplink KB")
+    report.add_column("energy_j", 15, ".1f", header="veh. energy J")
+    report.add_column("deadlines", 11, align="right")
     for name, (latency, uplink, energy, met) in table.items():
-        lines.append(
-            f"{name:14s}{latency:>14.3f}{uplink / 1e3:>11.0f}{energy:>15.1f}"
-            f"{met:>8d}/{len(STANDARD_MIX)}"
+        report.add_row(
+            strategy=name, latency_s=latency, uplink_kb=uplink / 1e3,
+            energy_j=energy, deadlines=f"{met}/{len(STANDARD_MIX)}",
         )
-    write_report("ablate_offloading", lines)
+    persist_report(report)
 
     local = table["local-only"]
     cloud = table["cloud-only"]

@@ -9,8 +9,9 @@ on an idiosyncratic driver, and accuracy after personalization.
 import numpy as np
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.libvdap import build_pbeam, train_cbeam
+from repro.obs import Report
 from repro.workloads import DriverProfile, fleet_dataset
 
 SPARSITIES = (0.0, 0.4, 0.65, 0.8, 0.9)
@@ -38,13 +39,20 @@ def sweep():
 def test_pbeam_compression_sweep(benchmark):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    lines = ["A3 -- pBEAM: Deep-Compression sweep + personalization gain",
-             f"{'sparsity':>9s}{'download B':>12s}{'ratio':>8s}{'cBEAM acc':>11s}{'pBEAM acc':>11s}"]
+    report = Report(
+        "ablate_pbeam", "A3 -- pBEAM: Deep-Compression sweep + personalization gain"
+    )
+    report.add_column("sparsity", 9, ".2f")
+    report.add_column("download_b", 12, ".0f", header="download B")
+    report.add_column("ratio", 8, ".1f")
+    report.add_column("cbeam_acc", 11, ".3f", header="cBEAM acc")
+    report.add_column("pbeam_acc", 11, ".3f", header="pBEAM acc")
     for sparsity, nbytes, ratio, common, personal in rows:
-        lines.append(
-            f"{sparsity:>9.2f}{nbytes:>12.0f}{ratio:>8.1f}{common:>11.3f}{personal:>11.3f}"
+        report.add_row(
+            sparsity=sparsity, download_b=nbytes, ratio=ratio,
+            cbeam_acc=common, pbeam_acc=personal,
         )
-    write_report("ablate_pbeam", lines)
+    persist_report(report)
 
     downloads = [row[1] for row in rows]
     assert downloads == sorted(downloads, reverse=True), "more pruning, smaller download"

@@ -15,8 +15,9 @@ for the table; the timed unit is a 30-second stream.
 import numpy as np
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.net import VIDEO_1080P, VIDEO_720P, run_drive_stream
+from repro.obs import Report
 
 PAPER = {
     (0, "720P"): (0.002, 0.012),
@@ -44,17 +45,28 @@ def test_fig2_report(results, benchmark):
         run_drive_stream, VIDEO_720P, 35, 30.0, None, np.random.default_rng(0)
     )
 
-    lines = ["E2 / Figure 2 -- loss rates streaming video over LTE while driving",
-             f"{'scenario':16s}{'packet':>10s}{'(paper)':>10s}{'frame':>10s}{'(paper)':>10s}{'handoffs':>10s}"]
+    report = Report(
+        "fig2_loss",
+        "E2 / Figure 2 -- loss rates streaming video over LTE while driving",
+    )
+    report.add_column("scenario", 16)
+    report.add_column("packet", 10, ".3f")
+    report.add_column("paper_packet", 10, ".3f", header="(paper)")
+    report.add_column("frame", 10, ".3f")
+    report.add_column("paper_frame", 10, ".3f", header="(paper)")
+    report.add_column("handoffs", 10, "d")
     for (speed, name), result in results.items():
         paper_packet, paper_frame = PAPER[(speed, name)]
         label = "Static" if speed == 0 else f"{speed}MPH"
-        lines.append(
-            f"{label + ' ' + name:16s}{result.packet_loss_rate:>10.3f}"
-            f"{paper_packet:>10.3f}{result.frame_loss_rate:>10.3f}"
-            f"{paper_frame:>10.3f}{result.handoffs:>10d}"
+        report.add_row(
+            scenario=f"{label} {name}",
+            packet=result.packet_loss_rate,
+            paper_packet=paper_packet,
+            frame=result.frame_loss_rate,
+            paper_frame=paper_frame,
+            handoffs=result.handoffs,
         )
-    write_report("fig2_loss", lines)
+    persist_report(report)
 
     # Shape assertions straight from the paper's narrative.
     for profile_name in ("720P", "1080P"):

@@ -10,9 +10,10 @@ catalog.  The timed unit is the whole five-device sweep.
 
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
 from repro.hw.catalog import FIGURE3_DEVICES
 from repro.nn import INCEPTION_V3
+from repro.obs import Report
 
 PAPER_MS = {
     "DSP-based": 334.5,
@@ -37,11 +38,21 @@ def sweep():
 def test_fig3_report(benchmark):
     rows = benchmark(sweep)
 
-    lines = ["E3 / Figure 3 -- Inception v3 per-image latency and max power",
-             f"{'label':12s}{'device':24s}{'measured ms':>13s}{'paper ms':>10s}{'power W':>9s}"]
+    report = Report(
+        "fig3_processors",
+        "E3 / Figure 3 -- Inception v3 per-image latency and max power",
+    )
+    report.add_column("label", 12)
+    report.add_column("device", 24)
+    report.add_column("measured_ms", 13, ".1f", header="measured ms")
+    report.add_column("paper_ms", 10, ".1f", header="paper ms")
+    report.add_column("power_w", 9, ".1f", header="power W")
     for label, name, ms, watts in rows:
-        lines.append(f"{label:12s}{name:24s}{ms:>13.1f}{PAPER_MS[label]:>10.1f}{watts:>9.1f}")
-    write_report("fig3_processors", lines)
+        report.add_row(
+            label=label, device=name, measured_ms=ms,
+            paper_ms=PAPER_MS[label], power_w=watts,
+        )
+    persist_report(report)
 
     times = {label: ms for label, _n, ms, _w in rows}
     powers = [watts for _l, _n, _ms, watts in rows]

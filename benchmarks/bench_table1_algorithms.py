@@ -13,7 +13,8 @@ lane-detection kernel on a real 640x480 synthetic frame.
 import numpy as np
 import pytest
 
-from conftest import write_report
+from conftest import persist_report
+from repro.obs import Report
 from repro.vision import detect_lanes, road_scene, table1_rows
 
 PAPER_MS = {
@@ -32,20 +33,26 @@ def test_table1_report(rows, benchmark):
     scene, _ = road_scene(rng=np.random.default_rng(1))
     benchmark(detect_lanes, scene)
 
-    lines = ["E1 / Table I -- algorithm latency on AWS EC2 2.4 GHz vCPU",
-             f"{'algorithm':28s}{'ops':>12s}{'measured ms':>14s}{'paper ms':>12s}"]
+    report = Report(
+        "table1_algorithms",
+        "E1 / Table I -- algorithm latency on AWS EC2 2.4 GHz vCPU",
+    )
+    report.add_column("algorithm", 28)
+    report.add_column("ops", 12, ".3g")
+    report.add_column("measured_ms", 14, ".2f", header="measured ms")
+    report.add_column("paper_ms", 12, ".2f", header="paper ms")
     for row in rows:
-        lines.append(
-            f"{row.name:28s}{row.ops:>12.3g}{row.latency_ms:>14.2f}"
-            f"{PAPER_MS[row.name]:>12.2f}"
+        report.add_row(
+            algorithm=row.name, ops=row.ops, measured_ms=row.latency_ms,
+            paper_ms=PAPER_MS[row.name],
         )
     lane, haar, cnn = (r.latency_ms for r in rows)
-    lines.append("")
-    lines.append(f"CNN/Haar ratio: measured {cnn / haar:.1f}x, paper "
-                 f"{PAPER_MS['Vehicle Detection (CNN)'] / PAPER_MS['Vehicle Detection (Haar)']:.1f}x")
-    lines.append(f"Haar/Lane ratio: measured {haar / lane:.1f}x, paper "
-                 f"{PAPER_MS['Vehicle Detection (Haar)'] / PAPER_MS['Lane Detection']:.1f}x")
-    write_report("table1_algorithms", lines)
+    report.note()
+    report.note(f"CNN/Haar ratio: measured {cnn / haar:.1f}x, paper "
+                f"{PAPER_MS['Vehicle Detection (CNN)'] / PAPER_MS['Vehicle Detection (Haar)']:.1f}x")
+    report.note(f"Haar/Lane ratio: measured {haar / lane:.1f}x, paper "
+                f"{PAPER_MS['Vehicle Detection (Haar)'] / PAPER_MS['Lane Detection']:.1f}x")
+    persist_report(report)
 
     # Shape assertions: ordering and the headline ~51x gap.
     assert lane < haar < cnn

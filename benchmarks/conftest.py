@@ -2,21 +2,29 @@
 
 Every bench regenerates one paper artifact (table/figure) or one ablation.
 Besides the pytest-benchmark timing of a representative unit of work, each
-bench writes its full paper-style table to ``benchmarks/results/<name>.txt``
-and prints it, so the numbers survive quiet pytest runs.
+bench declares its paper-style table as a :class:`repro.obs.Report` and
+hands it to :func:`persist_report`, which writes the fixed-width text to
+``benchmarks/results/<name>.txt`` (the committed, diff-reviewed artifact)
+and the same data as stable JSON to ``results/<name>.json``, then prints
+the table so the numbers survive quiet pytest runs.
 """
 
 import os
 
+from repro.obs import Report
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def write_report(name: str, lines: list[str]) -> str:
-    """Persist and echo a bench's result table; returns the file path."""
+def persist_report(report: Report) -> tuple[str, str]:
+    """Persist and echo a bench's Report; returns (txt_path, json_path)."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    text = "\n".join(lines) + "\n"
-    with open(path, "w", encoding="utf-8") as fh:
+    txt_path = os.path.join(RESULTS_DIR, f"{report.name}.txt")
+    text = report.to_text() + "\n"
+    with open(txt_path, "w", encoding="utf-8") as fh:
         fh.write(text)
+    json_path = os.path.join(RESULTS_DIR, f"{report.name}.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        fh.write(report.to_json() + "\n")
     print(f"\n{text}")
-    return path
+    return txt_path, json_path

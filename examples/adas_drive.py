@@ -20,7 +20,7 @@ from repro.apps import make_adas_service
 from repro.apps.adas import AdasService
 from repro.edgeos import ElasticManager
 from repro.hw import catalog
-from repro.metrics import Timeline
+from repro.obs import Timeline
 from repro.topology import build_default_world
 from repro.vision import background_patch, road_scene, train_haar_detector, vehicle_patch
 

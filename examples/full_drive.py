@@ -8,16 +8,31 @@ DDI each tick.  Elastic Management re-tunes pipelines as the vehicle moves
 through and out of DSRC coverage; the DSF executes each tick's on-board
 share on the heterogeneous VCU in simulation time.
 
-Run:  python examples/full_drive.py
+With ``--observe DIR`` a :class:`repro.obs.Collector` is installed across
+the whole platform (kernel, DSF, executor, scenario hooks) and the run
+exports ``DIR/metrics.json`` plus ``DIR/trace.json`` -- open the trace at
+https://ui.perfetto.dev.  Identical-seed runs export byte-identical JSON.
+
+Run:  python examples/full_drive.py [--observe DIR]
 """
+
+import argparse
 
 from repro.apps import make_adas_service, make_amber_service
 from repro.hw import catalog
+from repro.obs import Collector
 from repro.scenario import DriveScenario
 from repro.topology import SpeedProfile, build_default_world
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--observe", metavar="DIR", default=None,
+        help="collect platform metrics + a Chrome trace and write them here",
+    )
+    args = parser.parse_args()
+    collector = Collector() if args.observe else None
     world = build_default_world(
         speed_mps=10.0,
         edge_count=3,
@@ -27,7 +42,9 @@ def main() -> None:
     for edge in world.edges:
         edge.coverage_radius_m = 220.0  # leaves ~160 m gaps between RSUs
 
-    scenario = DriveScenario(world=world, ddi_root="/tmp/openvdap-full-drive")
+    scenario = DriveScenario(
+        world=world, ddi_root="/tmp/openvdap-full-drive", observe=collector
+    )
     scenario.add_service(make_adas_service(deadline_s=0.6), period_s=1.0)
     scenario.add_service(make_amber_service(deadline_s=3.0), period_s=5.0)
     scenario.attach_obd(SpeedProfile([(0.0, 10.0)]))
@@ -52,6 +69,14 @@ def main() -> None:
             x = world.vehicle.position(t)
             print(f"  t={t:5.0f}s  x={x:6.0f} m  -> {value}")
             current = value
+
+    if collector is not None:
+        metrics_path, trace_path = collector.write(args.observe)
+        snap = collector.snapshot()
+        print(f"\nobservability: {int(snap['counters']['sim.events_fired'])} "
+              f"sim events, {len(collector.tracer.events)} trace events")
+        print(f"  metrics -> {metrics_path}")
+        print(f"  trace   -> {trace_path}  (open at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -15,16 +15,33 @@ A full-stack, simulation-backed reproduction of Zhang et al., ICDCS 2018:
 * :mod:`repro.faults` -- deterministic fault injection + resilience primitives
 * :mod:`repro.libvdap` -- the open application library (models, pBEAM, API)
 * :mod:`repro.apps` -- the four in-vehicle service classes + V2V collab
-* :mod:`repro.workloads` / :mod:`repro.metrics` -- generators and reports
+* :mod:`repro.obs` -- deterministic observability: metric registry, span
+  tracer (Chrome-trace export), benchmark reports
+* :mod:`repro.workloads` -- workload generators
 * :mod:`repro.analysis` -- the ``vdaplint`` determinism & safety linter
+
+``repro.metrics`` is a deprecated shim over :mod:`repro.obs` and is
+imported lazily so the shim's ``DeprecationWarning`` only fires for code
+that still reaches for it.
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, apps, ddi, edgeos, faults, hw, libvdap, metrics, net, nn, offload, sim
+from . import analysis, apps, ddi, edgeos, faults, hw, libvdap, net, nn, obs, offload, sim
 from . import scenario, topology, vcu, vision, workloads
 
-__all__ = [
+
+def __getattr__(name: str):
+    """PEP 562 lazy import of the deprecated ``repro.metrics`` shim."""
+    if name == "metrics":
+        import importlib
+
+        return importlib.import_module(".metrics", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+# `metrics` resolves through the PEP 562 __getattr__ above, which the
+# static __all__ honesty check cannot see.
+__all__ = [  # vdaplint: disable=API001
     "__version__",
     "analysis",
     "apps",
@@ -36,6 +53,7 @@ __all__ = [
     "metrics",
     "net",
     "nn",
+    "obs",
     "offload",
     "scenario",
     "sim",

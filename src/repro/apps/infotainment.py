@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.recorder import NULL_RECORDER, Recorder
+
 __all__ = ["BitrateLadder", "PlaybackReport", "StreamingSession"]
 
 #: Available encodings (name, Mbps) from lowest to highest quality.
@@ -61,6 +63,7 @@ class StreamingSession:
         bandwidth_trace: list[tuple[float, float]],
         buffer_target_s: float = 12.0,
         safety: float = 0.8,
+        obs: Recorder | None = None,
     ):
         if not bandwidth_trace:
             raise ValueError("bandwidth trace must be non-empty")
@@ -69,6 +72,7 @@ class StreamingSession:
         self.trace = sorted(bandwidth_trace)
         self.buffer_target_s = buffer_target_s
         self.safety = safety
+        self.obs = obs if obs is not None else NULL_RECORDER
 
     def bandwidth_at(self, time_s: float) -> float:
         current = self.trace[0][1]
@@ -136,11 +140,16 @@ class StreamingSession:
                 if stall > 0:
                     report.rebuffer_events += 1
                     report.rebuffer_seconds += stall
+                    if self.obs.enabled:
+                        self.obs.count("infotainment.rebuffer_events")
+                        self.obs.observe("infotainment.rebuffer_s", stall)
                 clock += download_s
                 buffer_s += CHUNK_SECONDS
 
             report.quality_counts[name] = report.quality_counts.get(name, 0) + 1
             report.chunks_played += 1
+            if self.obs.enabled:
+                self.obs.count("infotainment.chunks", quality=name)
 
             # Buffer full: let playback catch up before fetching more.
             if buffer_s >= self.buffer_target_s:
@@ -150,4 +159,6 @@ class StreamingSession:
                 buffer_s -= advance
                 clock += advance
 
+        if self.obs.enabled:
+            self.obs.gauge("infotainment.startup_delay_s", report.startup_delay_s)
         return report

@@ -22,8 +22,9 @@ import os
 from dataclasses import dataclass
 
 from ..edgeos.privacy import LocationFuzzer
-from ..faults.resilience import CircuitBreaker
+from ..faults.resilience import BreakerState, CircuitBreaker
 from ..net.channel import LinkModel
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .diskdb import DiskDB, Record
 
 __all__ = ["CloudDataServer", "UplinkMigrator", "MigrationStats"]
@@ -104,9 +105,11 @@ class UplinkMigrator:
         fuzzer: LocationFuzzer | None = None,
         breaker: CircuitBreaker | None = None,
         durable: bool = True,
+        obs: Recorder | None = None,
     ):
         if batch_size < 1:
             raise ValueError("batch size must be positive")
+        self.obs = obs if obs is not None else NULL_RECORDER
         self.disk = diskdb
         self.server = server
         self.streams = list(streams)
@@ -174,14 +177,19 @@ class UplinkMigrator:
         """
         if link.bandwidth_mbps < self.min_bandwidth_mbps:
             self.stats.deferred_rounds += 1
+            self.obs.count("ddi.uplink_deferred_rounds")
             return 0
         if self.breaker is not None and not self.breaker.allow(now_s):
             self.stats.breaker_deferred_rounds += 1
+            self.obs.count("ddi.uplink_breaker_deferred_rounds")
+            self._record_breaker_state()
             return 0
         if not cloud_up:
             self.stats.failed_rounds += 1
+            self.obs.count("ddi.uplink_failed_rounds")
             if self.breaker is not None:
                 self.breaker.record_failure(now_s)
+                self._record_breaker_state()
             return 0
         migrated = 0
         try:
@@ -201,6 +209,19 @@ class UplinkMigrator:
                 migrated += len(batch)
                 self.stats.records_migrated += len(batch)
                 self.stats.batches += 1
+                if self.obs.enabled:
+                    self.obs.count(
+                        "ddi.uplink_records", n=len(batch), stream=stream
+                    )
+                    self.obs.count("ddi.uplink_bytes", n=nbytes, stream=stream)
+                    self.obs.gauge(
+                        "ddi.uplink_watermark_s", self._watermark[stream],
+                        stream=stream,
+                    )
+                    self.obs.gauge(
+                        "ddi.uplink_backlog", len(self.pending(stream, now_s)),
+                        stream=stream,
+                    )
         except (OSError, RuntimeError) as err:
             # The uplink died mid-batch (transport or server failure); the
             # watermark never advanced for the failed batch, so a restart
@@ -209,12 +230,30 @@ class UplinkMigrator:
             # a swallowed cause makes fault storms undebuggable.
             self.stats.failed_rounds += 1
             self.stats.last_error = f"{type(err).__name__}: {err}"
+            self.obs.count("ddi.uplink_failed_rounds")
             if self.breaker is not None:
                 self.breaker.record_failure(now_s)
+                self._record_breaker_state()
             raise
         if self.breaker is not None and migrated:
             self.breaker.record_success(now_s)
+            self._record_breaker_state()
         return migrated
+
+    def _record_breaker_state(self) -> None:
+        """Gauge the breaker lifecycle (0 closed / 1 half-open / 2 open)."""
+        if self.breaker is None or not self.obs.enabled:
+            return
+        ordinal = {
+            BreakerState.CLOSED: 0,
+            BreakerState.HALF_OPEN: 1,
+            BreakerState.OPEN: 2,
+        }[self.breaker.state]
+        self.obs.gauge("ddi.uplink_breaker_state", ordinal)
+        self.obs.gauge("ddi.uplink_breaker_opens", self.breaker.opens)
+        self.obs.gauge(
+            "ddi.uplink_breaker_short_circuits", self.breaker.short_circuits
+        )
 
     def fully_migrated(self, now_s: float) -> bool:
         return all(not self.pending(stream, now_s) for stream in self.streams)

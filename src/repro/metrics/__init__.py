@@ -1,5 +1,19 @@
-"""Measurement helpers for experiments and benches."""
+"""Deprecated: ``repro.metrics`` moved into :mod:`repro.obs`.
 
-from .stats import Summary, Timeline
+:class:`~repro.obs.Summary` and :class:`~repro.obs.Timeline` are part of
+the observability layer now.  This shim keeps old imports working one
+release; switch ``from repro.metrics import Summary`` to
+``from repro.obs import Summary``.
+"""
+
+import warnings
+
+from ..obs.metrics import Summary, Timeline
 
 __all__ = ["Summary", "Timeline"]
+
+warnings.warn(
+    "repro.metrics is deprecated; import Summary/Timeline from repro.obs",
+    DeprecationWarning,
+    stacklevel=2,
+)

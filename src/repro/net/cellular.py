@@ -25,6 +25,7 @@ import math
 
 import numpy as np
 
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .channel import GilbertElliott
 from .params import LTEParams
 
@@ -38,14 +39,21 @@ class CellularUplink:
     tracks serving cell, handoff outages, and the loss channel.
     """
 
-    def __init__(self, params: LTEParams, rng: np.random.Generator):
+    def __init__(
+        self,
+        params: LTEParams,
+        rng: np.random.Generator,
+        obs: Recorder | None = None,
+    ):
         self.params = params
         self.rng = rng
+        self.obs = obs if obs is not None else NULL_RECORDER
         self._serving_cell: int | None = None
         self._outage_until = -math.inf
         self._ramp_start = -math.inf
         self._channel = GilbertElliott(
-            rng, loss_rate=params.base_loss, burst_length=params.burst_base_packets
+            rng, loss_rate=params.base_loss, burst_length=params.burst_base_packets,
+            obs=self.obs, link="lte",
         )
         self.handoff_count = 0
 
@@ -108,9 +116,14 @@ class CellularUplink:
             gap = self.handoff_interruption_s(speed_mps)
             self._outage_until = time_s + gap
             self._ramp_start = self._outage_until
+            if self.obs.enabled:
+                self.obs.count("net.handoffs", link="lte")
+                self.obs.observe("net.handoff_gap_s", gap, link="lte")
+                self.obs.instant("net.handoff", ts=time_s, track="net", cell=cell)
 
         # Mechanism 1: total loss during the handoff interruption.
         if time_s < self._outage_until:
+            self.obs.count("net.outage_drops", link="lte")
             return False
 
         # Mechanisms 2+3: proportional drop of the excess over the grant.
@@ -118,6 +131,7 @@ class CellularUplink:
         if granted < offered_bitrate_mbps:
             drop_probability = 1.0 - granted / offered_bitrate_mbps
             if self.rng.random() < drop_probability:
+                self.obs.count("net.grant_drops", link="lte")
                 return False
 
         # Mechanism 4: residual bursty loss -- congestion plus fast fading.

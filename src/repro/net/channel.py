@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.recorder import NULL_RECORDER, Recorder
+
 __all__ = ["LinkModel", "GilbertElliott", "gilbert_elliott_for"]
 
 
@@ -76,6 +78,8 @@ class GilbertElliott:
         loss_rate: float,
         burst_length: float = 3.0,
         residual_good_loss: float = 0.0,
+        obs: Recorder | None = None,
+        link: str = "channel",
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
@@ -88,6 +92,8 @@ class GilbertElliott:
         self.p_bg = 1.0 / burst_length
         self.p_gb = self._solve_p_gb(loss_rate)
         self.bad = False
+        self.obs = obs if obs is not None else NULL_RECORDER
+        self.link = link
 
     def _solve_p_gb(self, loss_rate: float) -> float:
         """Good->bad probability for a target stationary loss.
@@ -115,9 +121,13 @@ class GilbertElliott:
         else:
             if self.rng.random() < self.p_gb:
                 self.bad = True
-        if self.bad:
-            return True
-        return self.rng.random() < self.residual_good_loss
+                self.obs.count("net.channel_bursts", link=self.link)
+        lost = self.bad or self.rng.random() < self.residual_good_loss
+        if self.obs.enabled:
+            self.obs.count("net.channel_packets", link=self.link)
+            if lost:
+                self.obs.count("net.channel_losses", link=self.link)
+        return lost
 
     def retune(self, loss_rate: float, burst_length: float | None = None) -> None:
         """Update stationary loss rate (and burst length) in place."""

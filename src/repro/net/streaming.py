@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.recorder import Recorder
 from .cellular import CellularUplink
 from .params import LTEParams
 from .rtp import RtpPacketizer
@@ -46,6 +47,7 @@ def run_drive_stream(
     params: LTEParams | None = None,
     rng: np.random.Generator | None = None,
     start_position_m: float = 0.0,
+    obs: Recorder | None = None,
 ) -> StreamResult:
     """Simulate one upload run and return the loss statistics.
 
@@ -59,7 +61,7 @@ def run_drive_stream(
     if rng is None:
         rng = np.random.default_rng(0)
     speed_mps = mph_to_mps(speed_mph)
-    uplink = CellularUplink(params, rng)
+    uplink = CellularUplink(params, rng, obs=obs)
     packetizer = RtpPacketizer()
     accounting = FrameLossAccounting()
     stream = VideoStream(profile, duration_s)

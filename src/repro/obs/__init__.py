@@ -1,0 +1,58 @@
+"""repro.obs: the platform's deterministic observability layer.
+
+Three pieces, all on the sim clock (vdaplint-clean: no wall clock, no
+global RNG, byte-stable exports):
+
+* **Metrics** (:mod:`repro.obs.metrics`) -- a label-aware registry of
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` series (fixed
+  buckets + P-squared streaming quantiles) with snapshot/diff/merge and
+  stable JSON export.  :class:`Summary` and :class:`Timeline` (formerly
+  ``repro.metrics``) live here now.
+* **Tracing** (:mod:`repro.obs.trace`) -- a span tracer stamping sim-time
+  spans (context-manager, decorator, and async-process flavours) and
+  exporting Chrome ``trace_event`` JSON viewable in Perfetto.
+* **Recorder** (:mod:`repro.obs.recorder`) -- the facade the hot layers
+  call.  The default :data:`NULL_RECORDER` is a near-zero-cost no-op;
+  installing a :class:`Collector` (``Simulator(obs=...)`` or
+  ``DriveScenario(observe=...)``) lights up every hook at once.
+
+:class:`Report` (:mod:`repro.obs.report`) is the unified benchmark output
+path: declared columns, ``to_text()`` for the committed tables,
+``to_json()`` for machine-readable artifacts.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    P2Quantile,
+    Summary,
+    Timeline,
+    diff_snapshots,
+    merge_snapshots,
+)
+from .recorder import NULL_RECORDER, Collector, Recorder
+from .report import Column, Report
+from .trace import Span, SpanTracer
+
+__all__ = [
+    "Collector",
+    "Column",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_RECORDER",
+    "P2Quantile",
+    "Recorder",
+    "Report",
+    "Span",
+    "SpanTracer",
+    "Summary",
+    "Timeline",
+    "diff_snapshots",
+    "merge_snapshots",
+]

@@ -1,0 +1,521 @@
+"""Metric primitives and the registry: counters, gauges, histograms.
+
+Everything here is deterministic by construction: no wall clock, no RNG,
+and every export path (snapshot, diff, merge, JSON) iterates metrics in
+sorted key order so two identical-seed runs serialize byte-identically.
+
+The registry is label-aware -- ``registry.counter("net.packets",
+link="lte")`` and ``registry.counter("net.packets", link="dsrc")`` are
+distinct series -- and snapshots are plain nested dicts, so they diff and
+merge with ordinary dictionary code (and round-trip through JSON).
+
+:class:`Summary` and :class:`Timeline` (formerly ``repro.metrics``) live
+here too; ``repro.metrics`` remains as a deprecation shim.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "P2Quantile",
+    "Summary",
+    "Timeline",
+    "DEFAULT_BUCKETS",
+    "diff_snapshots",
+    "merge_snapshots",
+]
+
+#: Default histogram bucket upper bounds: a geometric ladder that covers
+#: microseconds-to-minutes latencies in seconds (the platform's native unit).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 120.0, 300.0,
+)
+
+
+def _label_suffix(labels: tuple[tuple[str, str], ...]) -> str:
+    """Render a label set as the canonical ``{k=v,...}`` suffix."""
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically non-decreasing sum (events, bytes, joules)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be non-negative) to the running total."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+    @property
+    def key(self) -> str:
+        return self.name + _label_suffix(self.labels)
+
+    def to_snapshot(self) -> float:
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A spot value that moves both ways (queue depth, watermark, level)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    last: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    sets: int = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.last = value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        self.sets += 1
+
+    @property
+    def key(self) -> str:
+        return self.name + _label_suffix(self.labels)
+
+    def to_snapshot(self) -> dict:
+        if self.sets == 0:
+            return {"last": 0.0, "min": 0.0, "max": 0.0, "sets": 0}
+        return {
+            "last": self.last,
+            "min": self.minimum,
+            "max": self.maximum,
+            "sets": self.sets,
+        }
+
+
+class P2Quantile:
+    """Streaming quantile estimator (Jain & Chlamtac's P-squared algorithm).
+
+    Tracks one quantile in O(1) memory without storing samples: five
+    markers whose heights are nudged toward the target positions with a
+    piecewise-parabolic fit.  Exact while fewer than five samples have
+    arrived.  Entirely deterministic: same sample sequence, same estimate.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if self.count <= 5:
+            insort(self._heights, x)
+            if self.count == 5:
+                q = self.q
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+                self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+            return
+        h, pos = self._heights, self._positions
+        # Find the cell the sample falls into and stretch the outer markers.
+        if x < h[0]:
+            h[0] = x
+            cell = 0
+        elif x >= h[4]:
+            h[4] = x
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and x >= h[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Nudge the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - pos[i]
+            if (delta >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                delta <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:  # parabolic estimate escaped the bracket: go linear
+                    j = i + int(step)
+                    h[i] += step * (h[j] - h[i]) / (pos[j] - pos[i])
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    @property
+    def value(self) -> float:
+        """Current estimate (exact below five samples; 0.0 when empty)."""
+        if not self._heights:
+            return 0.0
+        if self.count <= 5:
+            rank = self.q * (len(self._heights) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(self._heights) - 1)
+            return self._heights[lo] + (rank - lo) * (
+                self._heights[hi] - self._heights[lo]
+            )
+        return self._heights[2]
+
+
+#: Quantiles every histogram tracks with a P-squared estimator.
+TRACKED_QUANTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket distribution with streaming quantile estimators.
+
+    ``bounds`` are inclusive upper edges; one extra overflow bucket counts
+    samples above the last bound.  Alongside the buckets, three P-squared
+    estimators track p50/p95/p99 without storing samples.
+    """
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def __post_init__(self):
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self._quantiles = {q: P2Quantile(q) for q in TRACKED_QUANTILES}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        for estimator in self._quantiles.values():
+            estimator.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Streaming estimate for tracked quantiles, bucket interpolation else."""
+        if q in self._quantiles:
+            return self._quantiles[q].value
+        return self.quantile_from_buckets(q)
+
+    def quantile_from_buckets(self, q: float) -> float:
+        """Quantile by linear interpolation inside the owning bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if cumulative + bucket_count >= rank and bucket_count:
+                lower = self.minimum if i == 0 else self.bounds[i - 1]
+                upper = self.maximum if i >= len(self.bounds) else min(
+                    self.bounds[i], self.maximum
+                )
+                fraction = (rank - cumulative) / bucket_count
+                return lower + fraction * max(0.0, upper - lower)
+            cumulative += bucket_count
+        return self.maximum
+
+    @property
+    def key(self) -> str:
+        return self.name + _label_suffix(self.labels)
+
+    def to_snapshot(self) -> dict:
+        snap = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": list(self.bucket_counts),
+            "bounds": list(self.bounds),
+        }
+        for q in TRACKED_QUANTILES:
+            snap[f"p{int(q * 100)}"] = self.quantile(q)
+        return snap
+
+
+class MetricRegistry:
+    """Get-or-create home of every metric series, keyed by name + labels.
+
+    The kind of a series is fixed at first use: asking for a counter named
+    like an existing gauge is a bug and raises.
+    """
+
+    def __init__(self):
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    @staticmethod
+    def _labels_key(labels: dict) -> tuple[tuple[str, str], ...]:
+        return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def _get_or_create(self, kind, name: str, labels: dict, **kwargs):
+        key = (name, self._labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind(name=name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter series for ``name`` + ``labels`` (created on first use)."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge series for ``name`` + ``labels``."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        """The histogram series for ``name`` + ``labels``.
+
+        ``bounds`` only applies on first creation; later calls reuse the
+        existing series whatever its bucket layout.
+        """
+        if bounds is not None:
+            return self._get_or_create(Histogram, name, labels, bounds=tuple(bounds))
+        return self._get_or_create(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def series(self) -> list:
+        """All metric objects in sorted key order."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every series, sorted by key: diffable, mergeable,
+        JSON-serializable, and stable across identical runs."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self.series():
+            if isinstance(metric, Counter):
+                out["counters"][metric.key] = metric.to_snapshot()
+            elif isinstance(metric, Gauge):
+                out["gauges"][metric.key] = metric.to_snapshot()
+            else:
+                out["histograms"][metric.key] = metric.to_snapshot()
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Stable JSON export of the current snapshot (sorted keys)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def diff_snapshots(later: dict, earlier: dict) -> dict:
+    """What happened between two snapshots of the same registry.
+
+    Counters subtract; histogram counts/sums/buckets subtract (quantile
+    estimates are point-in-time and carried from ``later``); gauges are
+    spot values, so the later reading wins unchanged.
+    """
+    out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for key, value in later.get("counters", {}).items():
+        out["counters"][key] = value - earlier.get("counters", {}).get(key, 0.0)
+    out["gauges"] = dict(later.get("gauges", {}))
+    for key, snap in later.get("histograms", {}).items():
+        before = earlier.get("histograms", {}).get(key)
+        merged = dict(snap)
+        if before is not None:
+            merged["count"] = snap["count"] - before["count"]
+            merged["sum"] = snap["sum"] - before["sum"]
+            merged["buckets"] = [
+                a - b for a, b in zip(snap["buckets"], before["buckets"])
+            ]
+        out["histograms"][key] = merged
+    return out
+
+
+def merge_snapshots(a: dict, b: dict) -> dict:
+    """Combine snapshots from two runs/registries into one aggregate.
+
+    Counters and histogram buckets/counts/sums add; gauges combine min/max
+    and keep ``b``'s last reading; merged histogram quantiles are
+    re-estimated from the combined buckets (the streaming estimators are
+    not mergeable).
+    """
+    out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for key in sorted(set(a.get("counters", {})) | set(b.get("counters", {}))):
+        out["counters"][key] = a.get("counters", {}).get(key, 0.0) + b.get(
+            "counters", {}
+        ).get(key, 0.0)
+    for key in sorted(set(a.get("gauges", {})) | set(b.get("gauges", {}))):
+        ga = a.get("gauges", {}).get(key)
+        gb = b.get("gauges", {}).get(key)
+        if ga is None or gb is None:
+            out["gauges"][key] = dict(gb or ga)
+            continue
+        out["gauges"][key] = {
+            "last": gb["last"] if gb["sets"] else ga["last"],
+            "min": min(ga["min"], gb["min"]) if ga["sets"] and gb["sets"] else (ga if ga["sets"] else gb)["min"],
+            "max": max(ga["max"], gb["max"]) if ga["sets"] and gb["sets"] else (ga if ga["sets"] else gb)["max"],
+            "sets": ga["sets"] + gb["sets"],
+        }
+    for key in sorted(set(a.get("histograms", {})) | set(b.get("histograms", {}))):
+        ha = a.get("histograms", {}).get(key)
+        hb = b.get("histograms", {}).get(key)
+        if ha is None or hb is None:
+            out["histograms"][key] = dict(hb or ha)
+            continue
+        if ha["bounds"] != hb["bounds"]:
+            raise ValueError(f"cannot merge histogram {key!r}: bucket layouts differ")
+        count = ha["count"] + hb["count"]
+        merged = {
+            "count": count,
+            "sum": ha["sum"] + hb["sum"],
+            "min": min(ha["min"], hb["min"]) if ha["count"] and hb["count"] else (ha if ha["count"] else hb)["min"],
+            "max": max(ha["max"], hb["max"]) if ha["count"] and hb["count"] else (ha if ha["count"] else hb)["max"],
+            "buckets": [x + y for x, y in zip(ha["buckets"], hb["buckets"])],
+            "bounds": list(ha["bounds"]),
+        }
+        merged["mean"] = merged["sum"] / count if count else 0.0
+        rebuilt = Histogram(name=key, bounds=tuple(ha["bounds"]))
+        rebuilt.bucket_counts = list(merged["buckets"])
+        rebuilt.count = count
+        rebuilt.minimum = merged["min"]
+        rebuilt.maximum = merged["max"]
+        for q in TRACKED_QUANTILES:
+            merged[f"p{int(q * 100)}"] = rebuilt.quantile_from_buckets(q)
+        out["histograms"][key] = merged
+    return out
+
+
+class Summary:
+    """Streaming summary of a scalar metric (latencies, losses, ...).
+
+    Formerly ``repro.metrics.Summary``.  Samples are retained, but the
+    numpy array backing mean/percentile queries is materialized once per
+    batch of records and cached -- long drive scenarios query percentiles
+    every tick, and re-building the array per call was quadratic.
+    """
+
+    def __init__(self, name: str, samples: list[float] | None = None):
+        self.name = name
+        self.samples: list[float] = [float(v) for v in samples] if samples else []
+        self._cache: np.ndarray | None = None
+
+    def record(self, value: float) -> None:
+        self.samples.append(float(value))
+        self._cache = None
+
+    def _array(self) -> np.ndarray:
+        if self._cache is None or len(self._cache) != len(self.samples):
+            self._cache = np.asarray(self.samples, dtype=float)
+        return self._cache
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._array())) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self._array())) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        return float(np.percentile(self._array(), q)) if self.samples else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def row(self) -> dict:
+        """A report row (what the benches print)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+class Timeline:
+    """(time, value) series, e.g. pipeline choice or loss over a drive.
+
+    Formerly ``repro.metrics.Timeline``.
+    """
+
+    def __init__(self, name: str, times=None, values=None):
+        self.name = name
+        self.times: list[float] = list(times) if times else []
+        self.values: list = list(values) if values else []
+
+    def record(self, time_s: float, value) -> None:
+        if self.times and time_s < self.times[-1]:
+            raise ValueError("timeline must be recorded in time order")
+        self.times.append(float(time_s))
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time_s: float):
+        """Last value recorded at or before ``time_s``."""
+        if not self.times or time_s < self.times[0]:
+            return None
+        idx = int(np.searchsorted(self.times, time_s, side="right")) - 1
+        return self.values[idx]
+
+    def changes(self) -> int:
+        """Number of times the value switched."""
+        return sum(1 for a, b in zip(self.values, self.values[1:]) if a != b)

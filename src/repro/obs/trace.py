@@ -1,0 +1,177 @@
+"""Sim-time span tracer with Chrome ``trace_event`` export.
+
+Spans are stamped from an injected clock (the simulator's, in practice)
+-- never the wall clock -- so a trace is a pure function of the run and
+two identical-seed runs export byte-identical JSON.
+
+Two span flavours map onto the two shapes simulated work takes:
+
+* **Synchronous spans** (:meth:`SpanTracer.span`, or the
+  :meth:`SpanTracer.traced` decorator): strictly nested within one call
+  stack; exported as complete (``"X"``) events, which Perfetto nests by
+  containment on a track.
+* **Async spans** (:meth:`SpanTracer.async_span`): sim processes overlap
+  freely, so each lifetime is exported as a ``"b"``/``"e"`` async pair
+  with its own id; Perfetto lays overlapping spans out side by side.
+
+Open the export at https://ui.perfetto.dev (or chrome://tracing): one
+named track per subsystem, sim seconds on the time axis (exported as
+microseconds, the format's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+__all__ = ["SpanTracer", "Span"]
+
+#: Synthetic process id for the whole platform (one sim = one "process").
+TRACE_PID = 1
+
+
+class Span:
+    """An open synchronous span; close it by exiting the ``with`` block."""
+
+    def __init__(self, tracer: "SpanTracer", name: str, track: str, args: dict):
+        self.tracer = tracer
+        self.name = name
+        self.track = track
+        self.args = args
+        self.start = 0.0
+
+    def __enter__(self) -> "Span":
+        self.start = self.tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args = dict(self.args, error=exc_type.__name__)
+        self.tracer.complete(
+            self.name, self.start, self.tracer.clock(), track=self.track, **self.args
+        )
+
+
+class SpanTracer:
+    """Accumulates trace events against an injected (sim) clock."""
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.events: list[dict] = []
+        self._track_tids: dict[str, int] = {}
+        self._async_seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _tid(self, track: str) -> int:
+        """Stable per-track thread id; first use emits the naming metadata."""
+        tid = self._track_tids.get(track)
+        if tid is None:
+            tid = len(self._track_tids) + 1
+            self._track_tids[track] = tid
+            self.events.append(
+                {
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, track: str = "main", **args) -> Span:
+        """Context manager timing a strictly nested block of work."""
+        return Span(self, name, track, args)
+
+    def traced(self, name: str | None = None, track: str = "main"):
+        """Decorator form of :meth:`span` for whole functions."""
+
+        def wrap(fn):
+            label = name or fn.__name__
+
+            def inner(*a, **kw):
+                with self.span(label, track=track):
+                    return fn(*a, **kw)
+
+            inner.__name__ = fn.__name__
+            inner.__doc__ = fn.__doc__
+            return inner
+
+        return wrap
+
+    def complete(
+        self, name: str, start_s: float, end_s: float, track: str = "main", **args
+    ) -> None:
+        """Record a finished nested span as a complete (``X``) event."""
+        event = {
+            "ph": "X",
+            "pid": TRACE_PID,
+            "tid": self._tid(track),
+            "name": name,
+            "cat": track,
+            "ts": start_s * 1e6,
+            "dur": max(0.0, end_s - start_s) * 1e6,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def async_span(
+        self, name: str, start_s: float, end_s: float, track: str = "async", **args
+    ) -> None:
+        """Record a possibly-overlapping span (a sim process lifetime)."""
+        self._async_seq += 1
+        ident = f"0x{self._async_seq:x}"
+        tid = self._tid(track)
+        begin = {
+            "ph": "b",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "name": name,
+            "cat": track,
+            "id": ident,
+            "ts": start_s * 1e6,
+        }
+        if args:
+            begin["args"] = args
+        self.events.append(begin)
+        self.events.append(
+            {
+                "ph": "e",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": name,
+                "cat": track,
+                "id": ident,
+                "ts": end_s * 1e6,
+            }
+        )
+
+    def instant(self, name: str, ts: float | None = None, track: str = "main", **args) -> None:
+        """Record a zero-duration marker (a pipeline switch, a fault)."""
+        event = {
+            "ph": "i",
+            "pid": TRACE_PID,
+            "tid": self._tid(track),
+            "name": name,
+            "cat": track,
+            "ts": (self.clock() if ts is None else ts) * 1e6,
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The Chrome ``trace_event`` document (Perfetto-loadable)."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Stable JSON export (event order is emission order, sorted keys)."""
+        return json.dumps(self.to_chrome(), indent=indent, sort_keys=True)

@@ -135,6 +135,11 @@ class DistributedExecutor:
         link = self.world.links.between(src, dst)
         slot = self._link_slot(src, dst)
         key = link_key(src, dst)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.count("offload.transfers", link=f"{min(src, dst)}-{max(src, dst)}")
+            obs.count("offload.transfer_bytes", n=nbytes)
+            obs.observe("offload.link_queue_depth", slot.queue_length)
         attempt = 0
         while True:
             if self.faults is not None and self.faults.is_down(key):
@@ -192,6 +197,12 @@ class DistributedExecutor:
                 f"{tier} has no processor for {task.workload.value}"
             )
         slot = self._processor_slot(tier, processor.name)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.observe(
+                "offload.proc_queue_depth", slot.queue_length,
+                tier=tier, device=processor.name,
+            )
         grant = slot.request(priority=priority)
         try:
             yield grant
@@ -335,6 +346,19 @@ class DistributedExecutor:
             result.failure_reason = str(err)
         result.finished_at = self.sim.now
         self.completed.append(result)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.count("offload.jobs")
+            obs.observe("offload.job_latency_s", result.latency_s)
+            obs.observe("offload.job_transfer_s", result.transfer_seconds)
+            if result.retries:
+                obs.count("offload.retries", n=result.retries)
+            if result.replacements:
+                obs.count("offload.failovers", n=result.replacements)
+            if result.failed:
+                obs.count("offload.jobs_failed")
+            if result.missed_deadline:
+                obs.count("offload.deadline_misses")
         return result
 
     def submit(

@@ -24,7 +24,8 @@ from .ddi.service import DDIService
 from .edgeos.elastic import ElasticManager
 from .edgeos.service import PolymorphicService
 from .edgeos.sharing import DataSharingBus
-from .metrics.stats import Summary, Timeline
+from .obs.metrics import Summary, Timeline
+from .obs.recorder import Recorder
 from .offload.executor import DistributedExecutor
 from .topology.nodes import Tier
 from .topology.world import World, build_default_world
@@ -87,18 +88,27 @@ class DriveScenario:
         tick_s: float = 1.0,
         ddi_root: str | None = None,
         execute_distributed: bool = False,
+        observe: Recorder | None = None,
     ):
         """``execute_distributed=True`` additionally runs every invocation's
         full placed graph through the :class:`DistributedExecutor`, so the
         report's ``executed_latency`` includes queueing/contention the
-        analytic ``latency`` cannot see."""
+        analytic ``latency`` cannot see.
+
+        ``observe`` is the platform-wide instrumentation wiring point: pass
+        a :class:`repro.obs.Collector` and one recorder is installed across
+        every subsystem sharing this scenario's simulator (kernel, DSF,
+        executor) plus the scenario's own drive-loop hooks; export its
+        metrics/trace JSON after :meth:`run`.  Omitted, every hook hits the
+        no-op recorder."""
         if tick_s <= 0:
             raise ValueError("tick must be positive")
         self.world = world or build_default_world()
         self.tick_s = tick_s
         self.execute_distributed = execute_distributed
         self.rng = np.random.default_rng(seed)
-        self.sim = Simulator()
+        self.sim = Simulator(obs=observe)
+        self.obs: Recorder = self.sim.obs
         self.mhep = MHEP(self.sim)
         for processor in self.world.vehicle.processors:
             self.mhep.register(processor)
@@ -157,19 +167,34 @@ class DriveScenario:
             report.services[service.name] = ServiceReport(name=service.name)
         next_invocation = {service.name: 0.0 for service in self._services}
 
+        obs = self.obs
+
         def control_loop(sim):
             while sim.now < duration_s:
                 # 1. Update link quality from coverage geometry.
-                self.world.links.vehicle_edge.bandwidth_mbps = self.dsrc_quality_at(sim.now)
+                dsrc_mbps = self.dsrc_quality_at(sim.now)
+                self.world.links.vehicle_edge.bandwidth_mbps = dsrc_mbps
+                if obs.enabled:
+                    obs.observe("scenario.dsrc_mbps", dsrc_mbps)
                 # 2. Elastic re-tune.
                 for service in self._services:
                     service_report = report.services[service.name]
                     choice = self.manager.choose(service, self.world)
-                    service_report.pipeline_timeline.record(
-                        sim.now, choice.pipeline or "HUNG"
+                    previous = (
+                        service_report.pipeline_timeline.values[-1]
+                        if service_report.pipeline_timeline.values else None
                     )
+                    current = choice.pipeline or "HUNG"
+                    service_report.pipeline_timeline.record(sim.now, current)
+                    if obs.enabled and previous is not None and current != previous:
+                        obs.count("scenario.pipeline_switches", service=service.name)
+                        obs.instant(
+                            "scenario.pipeline_switch", track="scenario",
+                            service=service.name, pipeline=current,
+                        )
                     if choice.hung:
                         service_report.hung_ticks += 1
+                        obs.count("scenario.hung_ticks", service=service.name)
                         continue
                     # 3. Invoke the service if its period elapsed.
                     if sim.now + 1e-9 < next_invocation[service.name]:
@@ -178,8 +203,15 @@ class DriveScenario:
                     service_report.invocations += 1
                     evaluation = choice.evaluation
                     service_report.latency.record(evaluation.latency_s)
+                    if obs.enabled:
+                        obs.count("scenario.invocations", service=service.name)
+                        obs.observe(
+                            "scenario.latency_s", evaluation.latency_s,
+                            service=service.name,
+                        )
                     if evaluation.latency_s > service.deadline_s:
                         service_report.deadline_misses += 1
+                        obs.count("scenario.deadline_misses", service=service.name)
                     # 4. Execute the invocation.
                     graph = service.graph_factory()
                     pipeline = service.pipeline(choice.pipeline)
@@ -217,4 +249,9 @@ class DriveScenario:
         if self.ddi is not None:
             report.ddi_records = self.ddi.uploads
             report.ddi_cache_hit_rate = self.ddi.cache.stats.hit_rate
+        if obs.enabled:
+            obs.gauge("scenario.vehicle_energy_j", report.vehicle_energy_j)
+            if self.ddi is not None:
+                obs.gauge("scenario.ddi_records", report.ddi_records)
+                obs.gauge("scenario.ddi_cache_hit_rate", report.ddi_cache_hit_rate)
         return report

@@ -25,6 +25,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.recorder import NULL_RECORDER, Recorder
+
 __all__ = [
     "Event",
     "Timeout",
@@ -141,10 +143,16 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        self._spawned_at = sim.now
         # Bootstrap: step the generator at the current time.
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._step)
         bootstrap.succeed()
+
+    @property
+    def short_name(self) -> str:
+        """The name with per-invocation suffixes stripped (label-safe)."""
+        return self.name.split("@", 1)[0]
 
     @property
     def is_alive(self) -> bool:
@@ -170,6 +178,16 @@ class Process(Event):
             target.callbacks.remove(self._step)
         self._waiting_on = None
 
+    def _record_completion(self, ok: bool) -> None:
+        """Span the process lifetime into the recorder (no-op when null)."""
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.async_span(
+                self.name, self._spawned_at, self.sim.now,
+                track="sim.process", ok=ok,
+            )
+            obs.count("sim.processes_completed", process=self.short_name)
+
     def _step_throw(self, exc: BaseException) -> None:
         if self.triggered:
             return
@@ -178,9 +196,11 @@ class Process(Event):
             yielded = self.generator.throw(exc)
         except StopIteration as stop:
             self.succeed(stop.value)
+            self._record_completion(ok=True)
             return
         except BaseException as err:  # noqa: BLE001 - propagate via event
             self.fail(err)
+            self._record_completion(ok=False)
             return
         self._wait_on(yielded)
 
@@ -188,6 +208,8 @@ class Process(Event):
         if self.triggered:
             return
         self._waiting_on = None
+        if self.sim.obs.enabled:
+            self.sim.obs.count("sim.process_steps", process=self.short_name)
         try:
             if trigger is not None and trigger._exception is not None:
                 yielded = self.generator.throw(trigger._exception)
@@ -196,9 +218,11 @@ class Process(Event):
                 yielded = self.generator.send(send_value)
         except StopIteration as stop:
             self.succeed(stop.value)
+            self._record_completion(ok=True)
             return
         except BaseException as err:  # noqa: BLE001 - propagate via event
             self.fail(err)
+            self._record_completion(ok=False)
             return
         self._wait_on(yielded)
 
@@ -307,13 +331,24 @@ class Race(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, priority, seq, event)."""
+    """The event loop: a priority queue of (time, priority, seq, event).
 
-    def __init__(self):
+    ``obs`` installs an instrumentation recorder (see :mod:`repro.obs`):
+    the kernel then counts events fired and per-process steps, samples
+    queue depth, and spans every process lifetime onto the trace.  The
+    default is the shared no-op recorder, which costs one predicate per
+    event.  Subsystems holding a simulator reference record through
+    ``sim.obs``, so installing one collector instruments all of them.
+    """
+
+    def __init__(self, obs: Recorder | None = None):
         self._now = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._stopped = False
+        self.obs: Recorder = obs if obs is not None else NULL_RECORDER
+        if obs is not None:
+            obs.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -376,12 +411,17 @@ class Simulator:
         if until is not None and until < self._now:
             raise SimulationError(f"cannot run backwards: until={until} < now={self._now}")
         self._stopped = False
+        obs = self.obs
+        record = obs.enabled
         while self._queue and not self._stopped:
             when, _prio, _seq, event = self._queue[0]
             if until is not None and when > until:
                 break
             heapq.heappop(self._queue)
             self._now = when
+            if record:
+                obs.count("sim.events_fired")
+                obs.observe("sim.queue_depth", len(self._queue))
             event._resolve()
         if until is not None and not self._stopped:
             self._now = max(self._now, until)
@@ -393,5 +433,7 @@ class Simulator:
             raise SimulationError("step() on an empty event queue")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        if self.obs.enabled:
+            self.obs.count("sim.events_fired")
         event._resolve()
         return self._now

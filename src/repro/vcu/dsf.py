@@ -135,12 +135,14 @@ class DSF:
             device = self._pick_device(task)
         except RuntimeError as err:
             # Propagate scheduling failure to the job instead of hanging it.
+            self.sim.obs.count("vcu.dispatch_failures")
             done_events[name].fail(err)
             return
         exec_time = device.model.execution_time(task.work_gops, task.workload)
         self._queued_seconds[device.name] = (
             self._queued_seconds.get(device.name, 0.0) + exec_time
         )
+        requested_at = self.sim.now
         grant = device.resource.request(priority=priority)
         yield grant
         try:
@@ -151,6 +153,19 @@ class DSF:
         finally:
             device.resource.release(grant)
             self._queued_seconds[device.name] -= exec_time
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.count("vcu.tasks_completed", device=device.name)
+            obs.observe("vcu.task_exec_s", exec_time, device=device.name)
+            obs.observe(
+                "vcu.queue_wait_s", self.sim.now - requested_at - exec_time,
+                device=device.name,
+            )
+            obs.gauge(
+                "vcu.utilization", device.utilization(self.sim.now),
+                device=device.name,
+            )
+            obs.gauge("vcu.energy_busy_j", self.energy.busy_joules())
         result.task_devices[name] = device.name
         result.task_finish[name] = self.sim.now
         done_events[name].succeed(name)

@@ -65,6 +65,8 @@ class MHEP:
             raise ValueError(f"device {model.name!r} already registered")
         device = Device(model=model, level=level, resource=Resource(self.sim, capacity=1))
         self._devices[model.name] = device
+        self.sim.obs.count("vcu.devices_registered", level=level)
+        self.sim.obs.gauge("vcu.devices_online", len(self.online_devices))
         return device
 
     def unregister(self, name: str) -> Device:
@@ -77,6 +79,8 @@ class MHEP:
         if device is None or not device.online:
             raise KeyError(f"no online device named {name!r}")
         device.online = False
+        self.sim.obs.count("vcu.devices_unregistered")
+        self.sim.obs.gauge("vcu.devices_online", len(self.online_devices))
         return device
 
     def device(self, name: str) -> Device:

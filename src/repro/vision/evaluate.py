@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .haar import Detection, HaarDetector, non_max_suppression
 from .image import road_scene
 
@@ -62,14 +63,17 @@ def evaluate_detector(
     iou_threshold: float = 0.3,
     step: int = 4,
     rng: np.random.Generator | None = None,
+    obs: Recorder | None = None,
 ) -> DetectionMetrics:
     """Precision/recall of a detector over freshly generated scenes.
 
     Detections are NMS-collapsed; a ground-truth vehicle counts as found
     when any kept detection overlaps it at ``iou_threshold``; kept
-    detections overlapping no vehicle count as false positives.
+    detections overlapping no vehicle count as false positives.  ``obs``
+    (a :class:`repro.obs.Recorder`) receives per-evaluation counters.
     """
     rng = rng or np.random.default_rng(0)
+    obs = obs if obs is not None else NULL_RECORDER
     tp = fp = fn = 0
     for _ in range(scenes):
         img, truth = road_scene(width=width, height=height, rng=rng, vehicle_count=1)
@@ -90,6 +94,11 @@ def evaluate_detector(
             # Duplicate hits on an already-matched vehicle are ignored
             # (NMS should have removed them; scale duplicates can remain).
         fn += len(truth.vehicle_boxes) - len(matched_boxes)
+    if obs.enabled:
+        obs.count("vision.scenes_evaluated", n=scenes)
+        obs.count("vision.true_positives", n=tp)
+        obs.count("vision.false_positives", n=fp)
+        obs.count("vision.false_negatives", n=fn)
     return DetectionMetrics(
         true_positives=tp, false_positives=fp, false_negatives=fn, scenes=scenes
     )

@@ -1,0 +1,231 @@
+"""Metric primitives: counters, gauges, histograms, registry, snapshots."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    P2Quantile,
+    diff_snapshots,
+    merge_snapshots,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    counter = Counter("jobs")
+    counter.inc()
+    counter.inc(4.5)
+    assert counter.value == pytest.approx(5.5)
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_gauge_tracks_last_min_max():
+    gauge = Gauge("depth")
+    for value in (3.0, 1.0, 7.0):
+        gauge.set(value)
+    snap = gauge.to_snapshot()
+    assert snap == {"last": 7.0, "min": 1.0, "max": 7.0, "sets": 3}
+
+
+def test_gauge_empty_snapshot_is_zeros():
+    assert Gauge("x").to_snapshot() == {"last": 0.0, "min": 0.0, "max": 0.0, "sets": 0}
+
+
+def test_registry_label_sets_are_distinct_series():
+    registry = MetricRegistry()
+    registry.counter("net.packets", link="lte").inc()
+    registry.counter("net.packets", link="dsrc").inc(2)
+    registry.counter("net.packets", link="lte").inc()
+    snap = registry.snapshot()
+    assert snap["counters"]["net.packets{link=lte}"] == 2.0
+    assert snap["counters"]["net.packets{link=dsrc}"] == 2.0
+
+
+def test_registry_label_order_is_canonical():
+    registry = MetricRegistry()
+    registry.counter("m", b="2", a="1").inc()
+    registry.counter("m", a="1", b="2").inc()
+    assert len(registry) == 1
+    assert registry.snapshot()["counters"]["m{a=1,b=2}"] == 2.0
+
+
+def test_registry_kind_conflict_raises():
+    registry = MetricRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x", )
+
+
+def test_snapshot_is_json_round_trippable():
+    registry = MetricRegistry()
+    registry.counter("a").inc(3)
+    registry.gauge("b").set(1.5)
+    registry.histogram("c").observe(0.2)
+    text = registry.to_json()
+    assert json.loads(text) == registry.snapshot()
+
+
+# -- histograms ------------------------------------------------------------
+
+
+def test_histogram_empty_snapshot():
+    snap = Histogram("h").to_snapshot()
+    assert snap["count"] == 0
+    assert snap["min"] == 0.0 and snap["max"] == 0.0 and snap["mean"] == 0.0
+    assert sum(snap["buckets"]) == 0
+    assert snap["p50"] == 0.0
+
+
+def test_histogram_single_sample():
+    hist = Histogram("h", bounds=(0.1, 1.0, 10.0))
+    hist.observe(0.5)
+    snap = hist.to_snapshot()
+    assert snap["count"] == 1
+    assert snap["buckets"] == [0, 1, 0, 0]
+    assert snap["min"] == snap["max"] == 0.5
+    assert hist.quantile(0.5) == pytest.approx(0.5)
+
+
+def test_histogram_out_of_range_goes_to_overflow_bucket():
+    hist = Histogram("h", bounds=(0.1, 1.0))
+    hist.observe(50.0)
+    hist.observe(-3.0)  # below every bound: lands in the first bucket
+    assert hist.bucket_counts == [1, 0, 1]
+    assert hist.minimum == -3.0 and hist.maximum == 50.0
+
+
+def test_histogram_bucket_edges_are_inclusive_upper():
+    hist = Histogram("h", bounds=(1.0, 2.0))
+    hist.observe(1.0)  # exactly on a bound: belongs to that bucket
+    hist.observe(2.0)
+    hist.observe(2.0001)
+    assert hist.bucket_counts == [1, 1, 1]
+
+
+def test_histogram_unsorted_bounds_rejected():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(1.0, 0.5))
+
+
+def test_histogram_default_buckets_cover_platform_latencies():
+    hist = Histogram("h")
+    assert hist.bounds == DEFAULT_BUCKETS
+    hist.observe(0.003)
+    hist.observe(45.0)
+    assert hist.count == 2 and sum(hist.bucket_counts) == 2
+
+
+def test_histogram_quantile_from_buckets_interpolates():
+    hist = Histogram("h", bounds=(1.0, 2.0, 3.0, 4.0))
+    for value in (0.5, 1.5, 2.5, 3.5):
+        hist.observe(value)
+    q = hist.quantile_from_buckets(0.5)
+    assert 0.5 <= q <= 3.5
+    assert hist.quantile_from_buckets(1.0) == pytest.approx(3.5)
+    with pytest.raises(ValueError):
+        hist.quantile_from_buckets(1.5)
+
+
+def test_p2_quantile_matches_numpy_on_smooth_data():
+    rng = np.random.default_rng(0)
+    samples = rng.normal(10.0, 2.0, 4000)
+    estimator = P2Quantile(0.95)
+    for x in samples:
+        estimator.add(float(x))
+    assert estimator.value == pytest.approx(float(np.quantile(samples, 0.95)), rel=0.05)
+
+
+def test_p2_quantile_exact_under_five_samples():
+    estimator = P2Quantile(0.5)
+    for x in (3.0, 1.0, 2.0):
+        estimator.add(x)
+    assert estimator.value == 2.0
+    assert P2Quantile(0.5).value == 0.0
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+# -- snapshot algebra ------------------------------------------------------
+
+
+def _loaded_registry(extra: float = 0.0) -> MetricRegistry:
+    registry = MetricRegistry()
+    registry.counter("jobs", tier="edge").inc(3 + extra)
+    registry.gauge("depth").set(2.0 + extra)
+    hist = registry.histogram("lat", bounds=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value + extra)
+    return registry
+
+
+def test_diff_snapshots_subtracts_counters_and_buckets():
+    registry = _loaded_registry()
+    earlier = registry.snapshot()
+    registry.counter("jobs", tier="edge").inc(2)
+    registry.histogram("lat").observe(0.5)
+    registry.gauge("depth").set(9.0)
+    delta = diff_snapshots(registry.snapshot(), earlier)
+    assert delta["counters"]["jobs{tier=edge}"] == 2.0
+    assert delta["histograms"]["lat"]["count"] == 1
+    assert sum(delta["histograms"]["lat"]["buckets"]) == 1
+    # Gauges are spot values: the later reading wins.
+    assert delta["gauges"]["depth"]["last"] == 9.0
+
+
+def test_diff_against_empty_earlier_is_identity_for_counters():
+    registry = _loaded_registry()
+    snap = registry.snapshot()
+    delta = diff_snapshots(snap, {"counters": {}, "gauges": {}, "histograms": {}})
+    assert delta["counters"] == snap["counters"]
+
+
+def test_merge_snapshots_round_trip():
+    a = _loaded_registry().snapshot()
+    b = _loaded_registry(extra=1.0).snapshot()
+    merged = merge_snapshots(a, b)
+    assert merged["counters"]["jobs{tier=edge}"] == 7.0
+    hist = merged["histograms"]["lat"]
+    assert hist["count"] == 6
+    assert hist["sum"] == pytest.approx(a["histograms"]["lat"]["sum"]
+                                        + b["histograms"]["lat"]["sum"])
+    assert hist["min"] == 0.05 and hist["max"] == 6.0
+    assert sum(hist["buckets"]) == 6
+    # Quantiles are re-estimated from the combined buckets.
+    assert hist["p50"] > 0.0
+    gauge = merged["gauges"]["depth"]
+    assert gauge == {"last": 3.0, "min": 2.0, "max": 3.0, "sets": 2}
+
+
+def test_merge_disjoint_series_unions():
+    a = MetricRegistry()
+    a.counter("only.a").inc()
+    b = MetricRegistry()
+    b.counter("only.b").inc(5)
+    merged = merge_snapshots(a.snapshot(), b.snapshot())
+    assert merged["counters"] == {"only.a": 1.0, "only.b": 5.0}
+
+
+def test_merge_mismatched_bucket_layouts_raises():
+    a = MetricRegistry()
+    a.histogram("h", bounds=(1.0,)).observe(0.5)
+    b = MetricRegistry()
+    b.histogram("h", bounds=(2.0,)).observe(0.5)
+    with pytest.raises(ValueError):
+        merge_snapshots(a.snapshot(), b.snapshot())
+
+
+def test_snapshot_json_is_stable_across_insertion_order():
+    a = MetricRegistry()
+    a.counter("z").inc()
+    a.counter("a").inc()
+    b = MetricRegistry()
+    b.counter("a").inc()
+    b.counter("z").inc()
+    assert a.to_json() == b.to_json()

@@ -1,0 +1,125 @@
+"""Platform-level observability: one collector across every subsystem.
+
+Covers the single-wiring-point contract (``DriveScenario(observe=...)`` /
+``Simulator(obs=...)``), byte-identical exports across identical-seed
+runs, non-perturbation (instrumentation must not change simulated
+results), and the ``repro.metrics`` deprecation shim.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+from repro.apps import make_adas_service
+from repro.hw import catalog
+from repro.obs import Collector, Summary
+from repro.scenario import DriveScenario
+from repro.sim import Simulator
+from repro.topology import build_default_world
+
+
+def _drive(observe=None):
+    world = build_default_world(
+        speed_mps=10.0, edge_count=2, edge_spacing_m=600.0,
+        vehicle_processors=[catalog.intel_i7_6700(), catalog.intel_mncs()],
+    )
+    for edge in world.edges:
+        edge.coverage_radius_m = 220.0
+    scenario = DriveScenario(world=world, observe=observe)
+    scenario.add_service(make_adas_service(deadline_s=0.6), period_s=1.0)
+    return scenario.run(duration_s=40.0)
+
+
+def test_scenario_wires_one_collector_across_subsystems():
+    collector = Collector()
+    _drive(observe=collector)
+    snap = collector.snapshot()
+    # Kernel, VCU, and scenario hooks all landed in the same registry.
+    assert snap["counters"]["sim.events_fired"] > 0
+    assert any(k.startswith("vcu.tasks_completed") for k in snap["counters"])
+    assert any(k.startswith("scenario.invocations") for k in snap["counters"])
+    assert "scenario.dsrc_mbps" in snap["histograms"]
+    assert snap["gauges"]["scenario.vehicle_energy_j"]["last"] > 0
+    # The kernel exported process lifetimes as async span pairs.
+    phases = {e["ph"] for e in collector.tracer.events}
+    assert {"b", "e", "M"} <= phases
+
+
+def test_identical_seed_runs_export_byte_identical_json():
+    a, b = Collector(), Collector()
+    _drive(observe=a)
+    _drive(observe=b)
+    assert a.metrics_json() == b.metrics_json()
+    assert a.trace_json() == b.trace_json()
+
+
+def test_observation_does_not_perturb_the_simulation():
+    plain = _drive(observe=None)
+    observed = _drive(observe=Collector())
+    assert plain.vehicle_energy_j == observed.vehicle_energy_j
+    for name in plain.services:
+        assert plain.services[name].invocations == observed.services[name].invocations
+        assert (plain.services[name].latency.samples
+                == observed.services[name].latency.samples)
+
+
+def test_simulator_obs_defaults_to_null_recorder():
+    sim = Simulator()
+    assert sim.obs.enabled is False
+    sim.timeout(1.0)
+    sim.run()  # no recorder installed: runs clean
+
+
+def test_simulator_binds_collector_clock():
+    collector = Collector()
+    sim = Simulator(obs=collector)
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        collector.instant("mark", track="t")
+
+    sim.process(proc(sim))
+    sim.run()
+    (mark,) = [e for e in collector.tracer.events if e["ph"] == "i"]
+    assert mark["ts"] == pytest.approx(2e6)
+
+
+# -- deprecation shim ------------------------------------------------------
+
+
+def test_metrics_shim_warns_once_on_import():
+    sys.modules.pop("repro.metrics", None)
+    with pytest.warns(DeprecationWarning, match="repro.obs"):
+        importlib.import_module("repro.metrics")
+
+
+def test_metrics_shim_reexports_the_same_objects():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        metrics = importlib.import_module("repro.metrics")
+    import repro.obs
+
+    assert metrics.Summary is repro.obs.Summary
+    assert metrics.Timeline is repro.obs.Timeline
+    assert metrics.__all__ == ["Summary", "Timeline"]
+
+
+# -- Summary cache (the perf fix) ------------------------------------------
+
+
+def test_summary_cache_invalidates_on_record():
+    summary = Summary("lat")
+    summary.record(1.0)
+    assert summary.mean == 1.0
+    summary.record(3.0)
+    assert summary.mean == 2.0 and summary.p50 == 2.0
+
+
+def test_summary_cache_detects_direct_sample_mutation():
+    summary = Summary("lat", samples=[1.0, 2.0])
+    assert summary.mean == 1.5
+    summary.samples.append(6.0)  # legacy callers mutate the list directly
+    assert summary.mean == 3.0

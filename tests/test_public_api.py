@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.apps",
     "repro.workloads",
     "repro.metrics",
+    "repro.obs",
     "repro.scenario",
 ]
 

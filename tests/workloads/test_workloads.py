@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.metrics import Summary, Timeline
+from repro.obs import Summary, Timeline
 from repro.topology import Tier
 from repro.workloads import (
     FEATURES,
