@@ -28,9 +28,9 @@ def scenario_energy(processor, offload_detect: bool) -> tuple[float, float, floa
     graph = adas_frame_graph()
     detect = graph.task("vehicle-detect")
     lane = graph.task("lane-detect")
-    per_frame_s = lane.work_gops / processor.effective_gops(WorkloadClass.VISION)
+    per_frame_s = lane.work_gop / processor.effective_gops(WorkloadClass.VISION)
     if not offload_detect:
-        per_frame_s += detect.work_gops / processor.effective_gops(WorkloadClass.DNN)
+        per_frame_s += detect.work_gop / processor.effective_gops(WorkloadClass.DNN)
     wall_s = DRIVE_HOURS * 3600.0
     busy_s = min(wall_s, wall_s * FPS * per_frame_s)
     duty = busy_s / wall_s

@@ -13,6 +13,14 @@ property checked on every commit instead of a convention in DESIGN.md:
   (:mod:`.callgraph`) feeding an interprocedural nondeterminism taint
   pass (:mod:`.dataflow`) -- DET101/SIM101/RACE001 catch cross-module
   violations no single file can show;
+* a **semantic** tier: a forward abstract interpreter inferring
+  physical units from naming conventions and ``# unit:`` pragmas
+  (:mod:`.units` -- UNIT001/UNIT002/UNIT003) and a path-sensitive
+  resource-protocol checker over ``sim.resources`` grants
+  (:mod:`.protocol` -- RES101/RES102/PROTO001), both wrapped in an
+  incremental analysis cache (:mod:`.cache`, ``.vdaplint-cache/``) so
+  warm runs re-analyze only changed files and their dependents with
+  byte-identical output;
 * a **runtime** cross-check (:mod:`.sanitizer`): an opt-in
   ``DeterminismSanitizer`` that hashes the live event trace so two
   same-seed runs can be diffed to the first diverging event;
@@ -20,10 +28,19 @@ property checked on every commit instead of a convention in DESIGN.md:
 
     python -m repro.analysis src/repro --strict
     python -m repro.analysis --whole-program --jobs 4 src/repro tests --strict
+    python -m repro.analysis --cache src/repro tests --strict
     vdaplint --list-rules
 """
 
 from .baseline import Baseline, fingerprint_findings
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    SEMANTIC_RULE_CLASSES,
+    CachedRun,
+    IncrementalAnalyzer,
+    semantic_rules,
+    semantic_rules_by_id,
+)
 from .callgraph import ProjectGraph, build_graph, infer_module_name
 from .dataflow import (
     FLOW_RULE_CLASSES,
@@ -43,26 +60,48 @@ from .engine import (
     lint_paths,
     lint_source,
 )
+from .protocol import PROTOCOL_RULE_CLASSES, ProtocolChecker
 from .reporter import render_json, render_text
 from .rules import RULE_CLASSES, default_rules, rules_by_id
 from .sanitizer import DeterminismSanitizer, Divergence, TraceRecord
+from .units import (
+    UNIT_RULE_CLASSES,
+    ModuleSummary,
+    SignatureIndex,
+    Unit,
+    UnitChecker,
+    parse_name_unit,
+    parse_unit_expr,
+    summarize_module,
+)
 from .cli import main
 
 __all__ = [
     "Baseline",
+    "CachedRun",
+    "DEFAULT_CACHE_DIR",
     "DeterminismSanitizer",
     "Divergence",
     "FLOW_RULE_CLASSES",
     "FileContext",
     "Finding",
+    "IncrementalAnalyzer",
     "LintEngine",
+    "ModuleSummary",
+    "PROTOCOL_RULE_CLASSES",
     "Pragmas",
     "ProjectGraph",
+    "ProtocolChecker",
     "RULE_CLASSES",
     "Rule",
+    "SEMANTIC_RULE_CLASSES",
     "SKIP_MARKER",
+    "SignatureIndex",
     "TaintAnalysis",
     "TraceRecord",
+    "UNIT_RULE_CLASSES",
+    "Unit",
+    "UnitChecker",
     "WholeProgramAnalyzer",
     "build_graph",
     "default_rules",
@@ -74,7 +113,12 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "main",
+    "parse_name_unit",
+    "parse_unit_expr",
     "render_json",
     "render_text",
     "rules_by_id",
+    "semantic_rules",
+    "semantic_rules_by_id",
+    "summarize_module",
 ]

@@ -22,6 +22,12 @@ import sys
 from typing import Optional, Sequence
 
 from .baseline import Baseline, fingerprint_findings
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    IncrementalAnalyzer,
+    semantic_rules,
+    semantic_rules_by_id,
+)
 from .callgraph import build_graph
 from .dataflow import TaintAnalysis, WholeProgramAnalyzer, flow_rules, flow_rules_by_id
 from .engine import Finding, LintEngine, Rule, discover_files
@@ -104,18 +110,33 @@ def build_parser() -> argparse.ArgumentParser:
              "(requires --whole-program)",
     )
     parser.add_argument(
+        "--cache", action="store_true",
+        help=(
+            "enable the incremental analysis cache: warm runs re-analyze "
+            "only changed files and their dependents, with byte-identical "
+            "output to a cold run (implies serial analysis)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"cache directory for --cache (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
     return parser
 
 
-def _pick_rules(select: Optional[str], ignore: Optional[str],
-                parser: argparse.ArgumentParser) -> tuple[list[Rule], list[Rule]]:
-    """Split the selection into (per-file rules, whole-program rules)."""
+def _pick_rules(
+    select: Optional[str], ignore: Optional[str],
+    parser: argparse.ArgumentParser,
+) -> tuple[list[Rule], list[Rule], dict[str, Rule]]:
+    """Split the selection into (per-file, whole-program, semantic) rules."""
     file_catalogue = rules_by_id()
     flow_catalogue = flow_rules_by_id()
-    catalogue = {**file_catalogue, **flow_catalogue}
+    semantic_catalogue = semantic_rules_by_id()
+    catalogue = {**file_catalogue, **flow_catalogue, **semantic_catalogue}
 
     def parse_ids(raw: str) -> list[str]:
         ids = [part.strip() for part in raw.split(",") if part.strip()]
@@ -127,13 +148,14 @@ def _pick_rules(select: Optional[str], ignore: Optional[str],
     if select:
         chosen = [catalogue[rule_id] for rule_id in parse_ids(select)]
     else:
-        chosen = default_rules() + flow_rules()
+        chosen = default_rules() + flow_rules() + semantic_rules()
     if ignore:
         skipped = set(parse_ids(ignore))
         chosen = [rule for rule in chosen if rule.id not in skipped]
     file_rules = [r for r in chosen if r.id in file_catalogue]
     wp_rules = [r for r in chosen if r.id in flow_catalogue]
-    return file_rules, wp_rules
+    semantic_map = {r.id: r for r in chosen if r.id in semantic_catalogue}
+    return file_rules, wp_rules, semantic_map
 
 
 def _init_worker(rule_ids: Sequence[str]) -> None:
@@ -176,12 +198,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.id}  {rule.name}: {rule.description}")
         for rule in flow_rules():
             print(f"{rule.id}  {rule.name} [whole-program]: {rule.description}")
+        for rule in semantic_rules():
+            print(f"{rule.id}  {rule.name} [semantic]: {rule.description}")
         return 0
 
     if (args.dump_callgraph or args.dump_taint) and not args.whole_program:
         parser.error("--dump-callgraph/--dump-taint require --whole-program")
 
-    file_rules, wp_rules = _pick_rules(args.select, args.ignore, parser)
+    file_rules, wp_rules, semantic_map = _pick_rules(args.select, args.ignore, parser)
     if args.select and wp_rules and not args.whole_program:
         parser.error(
             "whole-program rules selected "
@@ -197,10 +221,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
     jobs = args.jobs or os.cpu_count() or 1
-    if jobs > 1 and len(files) > 1:
+    cache_dir = args.cache_dir if args.cache else None
+    if jobs > 1 and len(files) > 1 and not args.cache:
         findings = _lint_parallel(files, [r.id for r in file_rules], jobs)
+        if semantic_map:
+            # Semantic pass runs serially; E999s are emitted by both
+            # passes identically, so the set union deduplicates them.
+            run = IncrementalAnalyzer([], semantic_map, cache_dir=None).run(files)
+            findings = sorted(set(findings) | set(run.findings))
     else:
-        findings = LintEngine(file_rules).lint_paths(args.paths)
+        run = IncrementalAnalyzer(file_rules, semantic_map, cache_dir).run(files)
+        findings = run.findings
+        if args.cache:
+            print(
+                f"vdaplint: cache: {len(run.analyzed)} analyzed, "
+                f"{len(run.replayed)} replayed",
+                file=sys.stderr,
+            )
 
     debug: dict = {}
     if args.whole_program:

@@ -1,0 +1,571 @@
+"""Resource-protocol checking: path-sensitive state machines over grants.
+
+The DES kernel's resources (:mod:`repro.sim.resources`) follow a strict
+protocol: ``grant = resource.request()`` enqueues, ``yield grant`` waits
+for the grant, ``resource.release(grant)`` returns the slot (releasing a
+still-queued grant cancels it).  A grant that escapes a function without
+a release leaks a slot forever -- and because sim processes can be
+interrupted *at any yield*, the leak-free pattern is ``try:``/``finally:``
+around everything between request and release.
+
+This module interprets each function as a path-sensitive state machine
+over its grant tokens (``REQUESTED -> HELD -> RELEASED``), forking on
+``if``/``try`` and modeling exception paths by snapshotting the token
+state before every statement that can raise.  Sanctioned escapes are
+recognized: returning a grant hands ownership to the caller (the
+``DSF.acquire`` idiom), and storing it on an object or passing it to
+another call transfers ownership out of the function's scope.
+
+Rules emitted here:
+
+* **RES101** -- a grant can leave the function unreleased on some path
+  (normal or exception).
+* **RES102** -- a grant is released twice, or released before it was
+  ever yielded outside of an exception-cleanup context.
+* **PROTO001** -- a sim process generator yields a value that cannot be
+  an :class:`~repro.sim.core.Event` (a literal, tuple, comparison, ...),
+  which the kernel rejects at runtime with ``SimulationError``.
+
+These rules only run on modules that import the sim layer, and never on
+``test_*``/``bench_*``/``conftest`` modules (tests exercise the kernel's
+misuse handling on purpose).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Optional
+
+from .engine import Finding, Rule
+from .units import ModuleSummary, _param_nodes
+
+__all__ = [
+    "ResLeakRule",
+    "ResDoubleReleaseRule",
+    "ProtoYieldRule",
+    "PROTOCOL_RULE_CLASSES",
+    "ProtocolChecker",
+]
+
+#: Method names whose call result is a grant token.
+REQUEST_ATTRS = frozenset({"request", "acquire"})
+#: Method names that consume a grant token.
+RELEASE_ATTRS = frozenset({"release"})
+#: Attribute calls whose yield marks a generator as a sim process.
+SIM_YIELD_ATTRS = frozenset(
+    {"timeout", "request", "acquire", "event", "process", "all_of", "any_of"}
+)
+#: Module basename prefixes exempt from protocol rules.
+TEST_PREFIXES = ("test_", "bench_")
+
+# Token states.
+REQUESTED = "requested"
+HELD = "held"
+RELEASED = "released"
+ESCAPED = "escaped"
+
+#: Fork-explosion guard: beyond this many simultaneous paths per function
+#: the interpreter keeps the first ``MAX_PATHS`` (soundness over the kept
+#: paths is preserved; dropped paths simply go unchecked).
+MAX_PATHS = 64
+
+
+class ResLeakRule(Rule):
+    """RES101: a grant escapes the function without a matching release."""
+
+    id = "RES101"
+    name = "resource-leak"
+    description = (
+        "a Resource.request() grant can escape the function without "
+        "release() on some path (including exception paths); wrap the "
+        "yield/use in try/finally"
+    )
+
+
+class ResDoubleReleaseRule(Rule):
+    """RES102: double release, or release of a never-yielded grant."""
+
+    id = "RES102"
+    name = "resource-double-release"
+    description = (
+        "a grant is released twice, or released before ever being "
+        "yielded (an immediate cancel) outside exception cleanup"
+    )
+
+
+class ProtoYieldRule(Rule):
+    """PROTO001: sim process generator yields a non-Event value."""
+
+    id = "PROTO001"
+    name = "protocol-yield"
+    description = (
+        "sim process generator yields a value that cannot be an Event "
+        "(literal/tuple/comparison); the kernel raises SimulationError"
+    )
+
+
+PROTOCOL_RULE_CLASSES = [ResLeakRule, ResDoubleReleaseRule, ProtoYieldRule]
+
+
+def module_in_protocol_scope(summary: ModuleSummary) -> bool:
+    """Protocol rules apply to non-test modules that touch the sim layer."""
+    basename = summary.module.rsplit(".", 1)[-1]
+    if basename.startswith(TEST_PREFIXES) or basename == "conftest":
+        return False
+    for target in summary.imports.values():
+        if "sim" in target.lstrip(".").split("."):
+            return True
+    return False
+
+
+class _State:
+    """Token states along one execution path."""
+
+    __slots__ = ("tokens", "exceptional")
+
+    def __init__(self, tokens: Optional[dict[str, tuple[str, int]]] = None,
+                 exceptional: bool = False):
+        self.tokens = tokens if tokens is not None else {}
+        self.exceptional = exceptional
+
+    def copy(self, exceptional: Optional[bool] = None) -> "_State":
+        return _State(
+            dict(self.tokens),
+            self.exceptional if exceptional is None else exceptional,
+        )
+
+    def active(self) -> list[str]:
+        return [n for n, (s, _) in self.tokens.items() if s in (REQUESTED, HELD)]
+
+
+_Sink = Callable[[_State, ast.AST], None]
+
+
+def _dotted_leaf(node: ast.expr) -> Optional[str]:
+    return node.attr if isinstance(node, ast.Attribute) else None
+
+
+def _is_request_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in REQUEST_ATTRS
+    )
+
+
+def _release_target(stmt: ast.stmt) -> Optional[tuple[ast.Call, Optional[str]]]:
+    """``(call, token_name)`` when ``stmt`` is a bare ``x.release(name)``."""
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return None
+    call = stmt.value
+    if not isinstance(call.func, ast.Attribute) or call.func.attr not in RELEASE_ATTRS:
+        return None
+    if len(call.args) == 1 and isinstance(call.args[0], ast.Name):
+        return call, call.args[0].id
+    return call, None
+
+
+def _names_in(expr: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+def _can_raise(stmt: ast.stmt) -> bool:
+    """Conservatively: does executing ``stmt`` possibly raise?
+
+    Yields can deliver :class:`Interrupt`, calls can throw, subscripts can
+    ``KeyError``.  Pure release statements are exempt so ``finally:
+    resource.release(grant)`` is not itself treated as a leak point.
+    """
+    if _release_target(stmt) is not None:
+        return False
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Yield, ast.YieldFrom, ast.Raise,
+                             ast.Subscript, ast.Await)):
+            return True
+    return False
+
+
+_NON_EVENT_NODES = (
+    ast.Constant, ast.Tuple, ast.List, ast.Dict, ast.Set, ast.JoinedStr,
+    ast.Compare, ast.BoolOp, ast.BinOp, ast.GeneratorExp, ast.ListComp,
+    ast.DictComp, ast.SetComp, ast.Lambda,
+)
+
+
+class ProtocolChecker:
+    """Runs RES101/RES102/PROTO001 over one file."""
+
+    def __init__(self, rules: Optional[dict[str, Rule]] = None):
+        catalogue = {cls.id: cls() for cls in PROTOCOL_RULE_CLASSES}
+        self.rules = rules if rules is not None else catalogue
+
+    def check_module(self, summary: ModuleSummary, source: str,
+                     tree: ast.Module) -> list[Finding]:
+        if not module_in_protocol_scope(summary):
+            return []
+        self._summary = summary
+        self._lines = source.splitlines()
+        self.findings: list[Finding] = []
+        process_targets = self._process_registrations(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if "RES101" in self.rules or "RES102" in self.rules:
+                    _FunctionInterp(self, node).run()
+                if "PROTO001" in self.rules:
+                    self._check_yields(node, process_targets)
+        return sorted(set(self.findings))
+
+    # -- PROTO001 ----------------------------------------------------------
+
+    @staticmethod
+    def _process_registrations(tree: ast.Module) -> set[str]:
+        """Function names passed (called or bare) into ``.process(...)``."""
+        targets: set[str] = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "process"):
+                continue
+            for arg in node.args:
+                inner = arg.func if isinstance(arg, ast.Call) else arg
+                if isinstance(inner, ast.Name):
+                    targets.add(inner.id)
+                elif isinstance(inner, ast.Attribute):
+                    targets.add(inner.attr)
+        return targets
+
+    def _own_yields(self, func: ast.AST) -> list[ast.Yield]:
+        """Yields belonging to ``func`` itself, not nested defs/lambdas.
+
+        Statements after a ``return``/``raise`` in the same block are
+        unreachable and skipped -- the ``return; yield`` generator-marker
+        idiom never executes its yield.
+        """
+        out: list[ast.Yield] = []
+
+        def visit_node(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                return
+            if isinstance(node, ast.Yield):
+                out.append(node)
+            for _field, value in ast.iter_fields(node):
+                if isinstance(value, ast.AST):
+                    visit_node(value)
+                elif isinstance(value, list):
+                    if value and all(isinstance(i, ast.stmt) for i in value):
+                        visit_block(value)
+                    else:
+                        for item in value:
+                            if isinstance(item, ast.AST):
+                                visit_node(item)
+
+        def visit_block(stmts: list) -> None:
+            for stmt in stmts:
+                visit_node(stmt)
+                if isinstance(stmt, (ast.Return, ast.Raise)):
+                    break  # rest of this block is unreachable
+
+        visit_block(list(getattr(func, "body", [])))
+        return out
+
+    def _check_yields(self, func: ast.AST, process_targets: set[str]) -> None:
+        yields = self._own_yields(func)
+        if not yields:
+            return
+        sim_like = func.name in process_targets
+        if not sim_like:
+            for node in yields:
+                value = node.value
+                if (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Attribute)
+                        and value.func.attr in SIM_YIELD_ATTRS):
+                    sim_like = True
+                    break
+        if not sim_like:
+            return
+        for node in yields:
+            value = node.value
+            if value is None:
+                self.report("PROTO001", node,
+                            f"sim process `{func.name}` has a bare `yield` "
+                            "(yields None, not an Event)")
+            elif isinstance(value, _NON_EVENT_NODES):
+                kind = type(value).__name__
+                self.report("PROTO001", node,
+                            f"sim process `{func.name}` yields a {kind}, "
+                            "which is not an Event")
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, rule_id: str, node: ast.AST, message: str,
+               line: Optional[int] = None) -> None:
+        rule = self.rules.get(rule_id)
+        if rule is None:
+            return
+        lineno = line if line is not None else getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) if line is None else 0
+        snippet = ""
+        if 1 <= lineno <= len(self._lines):
+            snippet = self._lines[lineno - 1].strip()
+        self.findings.append(
+            Finding(path=self._summary.path, line=lineno, col=col,
+                    rule=rule.id, message=message, snippet=snippet)
+        )
+
+
+class _FunctionInterp:
+    """Path-sensitive interpreter over one function's grant tokens."""
+
+    def __init__(self, checker: ProtocolChecker, func: ast.AST):
+        self.checker = checker
+        self.func = func
+        self.params = {a.arg for a in _param_nodes(func)}
+        self._reported: set[tuple[str, str, int, str]] = set()
+
+    def run(self) -> None:
+        states = [_State()]
+        out = self._exec_block(self.func.body, states, self._exit_exception,
+                               self._exit_return)
+        for state in out:
+            self._exit_return(state, self.func)
+
+    # -- exits -------------------------------------------------------------
+
+    def _exit_return(self, state: _State, node: ast.AST) -> None:
+        self._check_leaks(state, "normal")
+
+    def _exit_exception(self, state: _State, node: ast.AST) -> None:
+        self._check_leaks(state, "exception")
+
+    def _check_leaks(self, state: _State, kind: str) -> None:
+        for name, (status, req_line) in state.tokens.items():
+            if status not in (REQUESTED, HELD):
+                continue
+            detail = ("while still queued" if status == REQUESTED
+                      else "while holding the grant")
+            self._report_once(
+                "RES101", name, req_line, kind,
+                f"grant `{name}` (requested at line {req_line}) can leave "
+                f"`{self.func.name}` on a {kind} path {detail} without "
+                "release(); wrap the section in try/finally",
+            )
+
+    def _report_once(self, rule_id: str, token: str, line: int, kind: str,
+                     message: str) -> None:
+        # One finding per (token, anchor line): a grant that leaks on both a
+        # normal and an exception path is still one bug with one fix.
+        key = (rule_id, token, line)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.checker.report(rule_id, self.func, message, line=line)
+
+    # -- statement interpretation ------------------------------------------
+
+    def _exec_block(self, stmts, states: list[_State], exc: _Sink,
+                    ret: _Sink) -> list[_State]:
+        for stmt in stmts:
+            if not states:
+                break
+            states = self._exec_stmt(stmt, states, exc, ret)
+            if len(states) > MAX_PATHS:
+                states = states[:MAX_PATHS]
+        return states
+
+    def _exec_stmt(self, stmt: ast.stmt, states: list[_State], exc: _Sink,
+                   ret: _Sink) -> list[_State]:
+        # Exception-escape snapshot *before* the statement's effects: the
+        # token is still live if this statement raises mid-flight.
+        if _can_raise(stmt) and not isinstance(stmt, (ast.Try, ast.Raise)):
+            for state in states:
+                if state.active():
+                    exc(state.copy(exceptional=True), stmt)
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return states  # nested defs are interpreted separately
+        if isinstance(stmt, ast.Return):
+            for state in states:
+                if stmt.value is not None:
+                    self._mark_escaped(state, _names_in(stmt.value))
+                ret(state, stmt)
+            return []
+        if isinstance(stmt, ast.Raise):
+            for state in states:
+                exc(state.copy(exceptional=True), stmt)
+            return []
+        if isinstance(stmt, ast.Assign):
+            return self._exec_assign(stmt, states)
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            for state in states:
+                self._scan_expr(stmt.value, state, is_release_stmt=False)
+            return states
+        if isinstance(stmt, ast.Expr):
+            return self._exec_expr_stmt(stmt, states)
+        if isinstance(stmt, ast.If):
+            then = self._exec_block(stmt.body, [s.copy() for s in states], exc, ret)
+            other = self._exec_block(stmt.orelse, states, exc, ret)
+            return then + other
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            for state in states:
+                expr = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+                self._scan_expr(expr, state, is_release_stmt=False)
+            once = self._exec_block(stmt.body, [s.copy() for s in states], exc, ret)
+            merged = states + once
+            return self._exec_block(stmt.orelse, merged, exc, ret)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for state in states:
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, state, is_release_stmt=False)
+            return self._exec_block(stmt.body, states, exc, ret)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, states, exc, ret)
+        return states
+
+    def _exec_try(self, stmt: ast.Try, states: list[_State], exc: _Sink,
+                  ret: _Sink) -> list[_State]:
+        if stmt.finalbody:
+            final = stmt.finalbody
+
+            def through_finally(sink: _Sink) -> _Sink:
+                def wrapped(state: _State, node: ast.AST) -> None:
+                    for out in self._exec_block(final, [state.copy()], exc, ret):
+                        sink(out, node)
+                return wrapped
+
+            outer_exc = through_finally(exc)
+            outer_ret = through_finally(ret)
+        else:
+            outer_exc, outer_ret = exc, ret
+
+        snapshots: list[_State] = []
+
+        def collect(state: _State, node: ast.AST) -> None:
+            if len(snapshots) < MAX_PATHS:
+                snapshots.append(state)
+
+        body_out = self._exec_block(stmt.body, [s.copy() for s in states],
+                                    collect, outer_ret)
+        body_out = self._exec_block(stmt.orelse, body_out, collect, outer_ret)
+
+        handled: list[_State] = []
+        for handler in stmt.handlers:
+            entry = [s.copy(exceptional=True) for s in snapshots]
+            handled.extend(
+                self._exec_block(handler.body, entry, outer_exc, outer_ret)
+            )
+        # With no handlers the exception propagates past this try (through
+        # finally if present).  When handlers exist we assume one matches:
+        # modelling the no-match path too would flag the standard
+        # ``except: release(); raise`` cleanup idiom as a leak.
+        if not stmt.handlers:
+            for state in snapshots:
+                outer_exc(state.copy(exceptional=True), stmt)
+
+        normal = body_out + handled
+        if stmt.finalbody:
+            normal = self._exec_block(stmt.finalbody, normal, exc, ret)
+        if len(normal) > MAX_PATHS:
+            normal = normal[:MAX_PATHS]
+        return normal
+
+    # -- expression-level semantics ----------------------------------------
+
+    def _exec_assign(self, stmt: ast.Assign, states: list[_State]) -> list[_State]:
+        value = stmt.value
+        target = stmt.targets[0] if len(stmt.targets) == 1 else None
+        if _is_request_call(value) and isinstance(target, ast.Name):
+            for state in states:
+                prior = state.tokens.get(target.id)
+                if prior is not None and prior[0] in (REQUESTED, HELD):
+                    self._report_once(
+                        "RES101", target.id, prior[1], "overwrite",
+                        f"grant `{target.id}` (requested at line {prior[1]}) "
+                        "is overwritten by a new request() without release()",
+                    )
+                state.tokens[target.id] = (REQUESTED, stmt.lineno)
+            return states
+        for state in states:
+            self._scan_expr(value, state, is_release_stmt=False)
+            if isinstance(value, ast.Yield) and value.value is not None:
+                self._note_yield(value.value, state)
+            # Aliasing or storing a token elsewhere transfers ownership
+            # out of this function's tracking.
+            tracked = _names_in(value) & set(state.tokens)
+            if tracked and not (isinstance(target, ast.Name)
+                                and target.id in state.tokens
+                                and value is not None
+                                and isinstance(value, ast.Name)
+                                and value.id == target.id):
+                self._mark_escaped(state, tracked)
+            if isinstance(target, ast.Name):
+                state.tokens.pop(target.id, None)
+        return states
+
+    def _exec_expr_stmt(self, stmt: ast.Expr, states: list[_State]) -> list[_State]:
+        release = _release_target(stmt)
+        if release is not None:
+            call, token = release
+            for state in states:
+                self._apply_release(call, token, state)
+            return states
+        value = stmt.value
+        for state in states:
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                if value.value is not None:
+                    self._note_yield(value.value, state)
+            else:
+                self._scan_expr(value, state, is_release_stmt=False)
+        return states
+
+    def _note_yield(self, value: ast.expr, state: _State) -> None:
+        """``yield grant`` transitions the token REQUESTED -> HELD."""
+        if isinstance(value, ast.Name) and value.id in state.tokens:
+            status, line = state.tokens[value.id]
+            if status == REQUESTED:
+                state.tokens[value.id] = (HELD, line)
+        else:
+            self._scan_expr(value, state, is_release_stmt=False)
+
+    def _apply_release(self, call: ast.Call, token: Optional[str],
+                       state: _State) -> None:
+        if token is None or token not in state.tokens:
+            return  # releasing a parameter/foreign grant: caller's business
+        status, line = state.tokens[token]
+        if status == RELEASED:
+            self._report_once(
+                "RES102", token, call.lineno, "double",
+                f"grant `{token}` is released again at line {call.lineno} "
+                f"(already released; first requested at line {line})",
+            )
+        elif status == REQUESTED and not state.exceptional:
+            self._report_once(
+                "RES102", token, call.lineno, "early",
+                f"grant `{token}` is released at line {call.lineno} before "
+                "ever being yielded -- this cancels the request immediately",
+            )
+            state.tokens[token] = (RELEASED, line)
+        else:
+            state.tokens[token] = (RELEASED, line)
+
+    def _scan_expr(self, expr: ast.expr, state: _State,
+                   is_release_stmt: bool) -> None:
+        """Passing a token into any call transfers ownership (no leak FPs)."""
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr in RELEASE_ATTRS:
+                continue  # handled by _apply_release at statement level
+            passed = set()
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id in state.tokens:
+                    passed.add(arg.id)
+            if passed:
+                self._mark_escaped(state, passed)
+
+    def _mark_escaped(self, state: _State, names: set[str]) -> None:
+        for name in names:
+            if name in state.tokens:
+                status, line = state.tokens[name]
+                if status in (REQUESTED, HELD):
+                    state.tokens[name] = (ESCAPED, line)

@@ -67,7 +67,7 @@ class AmberSearchService:
 
     def __post_init__(self):
         graph = amber_search_graph()
-        self._stage_cost = {task.name: task.work_gops for task in graph.tasks}
+        self._stage_cost = {task.name: task.work_gop for task in graph.tasks}
         self._ocr_rng = np.random.default_rng(self.ocr_seed)
 
     def _recognize(self, sighting: PlateSighting) -> str | None:

@@ -56,11 +56,11 @@ class CollabVehicle:
         bus.grant(RESULTS_TOPIC, vehicle_id, read=True, write=True)
         graph = amber_search_graph()
         self._recognition_gops = sum(
-            task.work_gops
+            task.work_gop
             for task in graph.tasks
             if task.name in ("plate-detect", "plate-recognize")
         )
-        self._motion_gops = graph.task("motion-detect").work_gops
+        self._motion_gops = graph.task("motion-detect").work_gop
         self._seen_keys: set[str] = set()
 
     @staticmethod

@@ -22,16 +22,16 @@ class EnergyMeter:
     _busy_joules: dict[str, float] = field(default_factory=dict)
     _busy_seconds: dict[str, float] = field(default_factory=dict)
 
-    def record_busy(self, processor: ProcessorModel, seconds: float) -> float:
-        """Account ``seconds`` of busy time on ``processor``; returns joules."""
-        if seconds < 0:
+    def record_busy(self, processor: ProcessorModel, busy_s: float) -> float:
+        """Account ``busy_s`` seconds of busy time on ``processor``; returns joules."""
+        if busy_s < 0:
             raise ValueError("busy time must be non-negative")
-        joules = processor.energy(seconds)
+        joules = processor.energy(busy_s)
         self._busy_joules[processor.name] = (
             self._busy_joules.get(processor.name, 0.0) + joules
         )
         self._busy_seconds[processor.name] = (
-            self._busy_seconds.get(processor.name, 0.0) + seconds
+            self._busy_seconds.get(processor.name, 0.0) + busy_s
         )
         return joules
 
@@ -43,10 +43,10 @@ class EnergyMeter:
     def busy_seconds(self, name: str) -> float:
         return self._busy_seconds.get(name, 0.0)
 
-    def idle_joules(self, processor: ProcessorModel, wall_seconds: float) -> float:
-        """Idle draw for the fraction of ``wall_seconds`` the device was free."""
+    def idle_joules(self, processor: ProcessorModel, wall_s: float) -> float:
+        """Idle draw for the fraction of ``wall_s`` seconds the device was free."""
         busy = self._busy_seconds.get(processor.name, 0.0)
-        idle = max(0.0, wall_seconds - busy)
+        idle = max(0.0, wall_s - busy)
         return processor.idle_watts * idle
 
     def report(self) -> dict[str, float]:

@@ -142,25 +142,25 @@ class ProcessorModel:
         return self.efficiency.get(workload, 0.0) > 0.0
 
     def execution_time(
-        self, work_gops: float, workload: WorkloadClass, slowdown: float = 1.0
+        self, work_gop: float, workload: WorkloadClass, slowdown: float = 1.0
     ) -> float:
-        """Seconds to execute ``work_gops`` giga-ops of the given class.
+        """Seconds to execute ``work_gop`` giga-ops of the given class.
 
         ``slowdown`` >= 1 models a degraded device (thermal throttling, a
         PROCESSOR_SLOW fault window): sustained throughput is divided by it.
         """
-        if work_gops < 0:
-            raise ValueError(f"work must be non-negative, got {work_gops}")
+        if work_gop < 0:
+            raise ValueError(f"work must be non-negative, got {work_gop}")
         if slowdown < 1.0:
             raise ValueError(f"slowdown must be >= 1, got {slowdown}")
         effective = self.effective_gops(workload)
         if effective <= 0:
             raise ValueError(f"{self.name} cannot execute {workload.value} tasks")
-        return self.launch_overhead_s + work_gops * slowdown / effective
+        return self.launch_overhead_s + work_gop * slowdown / effective
 
-    def energy(self, busy_seconds: float) -> float:
+    def energy(self, busy_s: float) -> float:
         """Joules consumed while busy for the given duration."""
-        return self.tdp_watts * busy_seconds
+        return self.tdp_watts * busy_s
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -57,7 +57,7 @@ class LibVDAP:
                 "category": entry.category,
                 "full_size_bytes": entry.full.size_bytes,
                 "compressed_size_bytes": entry.compressed.size_bytes,
-                "compressed_gflops": entry.compressed.forward_gflops,
+                "compressed_gflop": entry.compressed.forward_gflop,
             }
             for entry in self.models.list(category)
         ]

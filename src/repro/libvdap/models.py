@@ -42,11 +42,11 @@ class CompressedVariant:
         return self.base.size_bytes / self.size_ratio
 
     @property
-    def forward_gflops(self) -> float:
-        return self.base.forward_gflops / self.flop_ratio
+    def forward_gflop(self) -> float:
+        return self.base.forward_gflop / self.flop_ratio
 
     def inference_time_s(self, processor: ProcessorModel) -> float:
-        return processor.execution_time(self.forward_gflops, self.base.workload)
+        return processor.execution_time(self.forward_gflop, self.base.workload)
 
 
 @dataclass(frozen=True)

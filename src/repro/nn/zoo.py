@@ -39,7 +39,7 @@ class ModelSpec:
 
     name: str
     task: str
-    forward_gflops: float  # multiply-add counted as 2 FLOPs
+    forward_gflop: float  # multiply-add counted as 2 FLOPs
     params_millions: float
     input_shape: tuple[int, int, int]
     workload: WorkloadClass = WorkloadClass.DNN
@@ -50,14 +50,14 @@ class ModelSpec:
 
     def inference_time_s(self, processor) -> float:
         """Per-image latency on a :class:`repro.hw.ProcessorModel`."""
-        return processor.execution_time(self.forward_gflops, self.workload)
+        return processor.execution_time(self.forward_gflop, self.workload)
 
 
 #: Inception v3: ~5.7 GMACs = 11.4 GFLOPs forward, 23.9 M params (Szegedy'16).
 INCEPTION_V3 = ModelSpec(
     name="inception_v3",
     task="image classification (1000 classes)",
-    forward_gflops=11.4,
+    forward_gflop=11.4,
     params_millions=23.9,
     input_shape=(3, 299, 299),
 )
@@ -65,7 +65,7 @@ INCEPTION_V3 = ModelSpec(
 MOBILENET_V1 = ModelSpec(
     name="mobilenet_v1",
     task="image classification (compressed-friendly)",
-    forward_gflops=1.14,
+    forward_gflop=1.14,
     params_millions=4.2,
     input_shape=(3, 224, 224),
 )
@@ -73,7 +73,7 @@ MOBILENET_V1 = ModelSpec(
 YOLO_V2 = ModelSpec(
     name="yolo_v2",
     task="object detection",
-    forward_gflops=34.9,
+    forward_gflop=34.9,
     params_millions=50.7,
     input_shape=(3, 416, 416),
 )
@@ -81,7 +81,7 @@ YOLO_V2 = ModelSpec(
 RESNET50 = ModelSpec(
     name="resnet50",
     task="image classification",
-    forward_gflops=7.7,
+    forward_gflop=7.7,
     params_millions=25.6,
     input_shape=(3, 224, 224),
 )
@@ -89,7 +89,7 @@ RESNET50 = ModelSpec(
 TINY_FACE = ModelSpec(
     name="tiny_face",
     task="face/audio keyword processing",
-    forward_gflops=0.2,
+    forward_gflop=0.2,
     params_millions=1.0,
     input_shape=(3, 96, 96),
 )

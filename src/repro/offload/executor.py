@@ -208,12 +208,12 @@ class DistributedExecutor:
             yield grant
             if self.faults is None:
                 yield self.sim.timeout(
-                    processor.execution_time(task.work_gops, task.workload)
+                    processor.execution_time(task.work_gop, task.workload)
                 )
                 return
             slowdown = self.faults.processor_slowdown(tier, processor.name)
             duration = processor.execution_time(
-                task.work_gops, task.workload, slowdown=slowdown
+                task.work_gop, task.workload, slowdown=slowdown
             )
             winner, _ = yield self.sim.race(
                 self.sim.timeout(duration),

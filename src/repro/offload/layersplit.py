@@ -38,7 +38,7 @@ class LayerProfile:
     """One layer: its compute cost and the size of its output activation."""
 
     name: str
-    gflops: float
+    gflop: float
     output_bytes: float
 
 
@@ -99,11 +99,11 @@ class SplitDecision:
 
 
 def _compute_time(
-    processor: ProcessorModel, gflops: float, workload: WorkloadClass
+    processor: ProcessorModel, gflop: float, workload: WorkloadClass
 ) -> float:
-    if gflops == 0.0:
+    if gflop == 0.0:
         return 0.0
-    return processor.execution_time(gflops, workload)
+    return processor.execution_time(gflop, workload)
 
 
 def best_split(
@@ -134,10 +134,10 @@ def best_split(
     best = None
     n = len(layers)
     for cut in range(n + 1):
-        local_gflops = sum(layer.gflops for layer in layers[:cut])
-        remote_gflops = sum(layer.gflops for layer in layers[cut:])
-        local_s = _compute_time(vehicle_proc, local_gflops, workload)
-        remote_s = _compute_time(remote_proc, remote_gflops, workload)
+        local_gflop = sum(layer.gflop for layer in layers[:cut])
+        remote_gflop = sum(layer.gflop for layer in layers[cut:])
+        local_s = _compute_time(vehicle_proc, local_gflop, workload)
+        remote_s = _compute_time(remote_proc, remote_gflop, workload)
         if cut == n:
             transfer_s = 0.0
             uplink = 0.0

@@ -103,7 +103,7 @@ def evaluate_placement(
             if pred_tier == Tier.VEHICLE and tier != Tier.VEHICLE:
                 uplink_bytes += pred_task.output_bytes
 
-        exec_time = processor.execution_time(task.work_gops, task.workload)
+        exec_time = processor.execution_time(task.work_gop, task.workload)
         finish[name] = ready + exec_time
         if tier == Tier.VEHICLE:
             meter.record_busy(processor, exec_time)

@@ -28,14 +28,14 @@ class Task:
     """
 
     name: str
-    work_gops: float
+    work_gop: float
     workload: WorkloadClass
     output_bytes: float = 0.0
     source_bytes: float = 0.0
     memory_gb: float = 0.0
 
     def __post_init__(self):
-        if self.work_gops < 0 or self.output_bytes < 0 or self.source_bytes < 0:
+        if self.work_gop < 0 or self.output_bytes < 0 or self.source_bytes < 0:
             raise ValueError(f"task {self.name}: negative cost")
 
 
@@ -89,8 +89,8 @@ class TaskGraph:
     def __len__(self) -> int:
         return self._graph.number_of_nodes()
 
-    def total_work_gops(self) -> float:
-        return sum(task.work_gops for task in self.tasks)
+    def total_work_gop(self) -> float:
+        return sum(task.work_gop for task in self.tasks)
 
     @classmethod
     def chain(cls, name: str, tasks: list[Task]) -> "TaskGraph":

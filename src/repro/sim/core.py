@@ -121,14 +121,14 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
+    def __init__(self, sim: "Simulator", delay_s: float, value: Any = None):
+        if delay_s < 0:
+            raise SimulationError(f"negative timeout delay: {delay_s}")
         super().__init__(sim)
-        self.delay = delay
+        self.delay_s = delay_s
         self._value = value
         self._triggered = True
-        sim._schedule_event(self, delay=delay)
+        sim._schedule_event(self, delay=delay_s)
 
 
 class Process(Event):
@@ -359,8 +359,8 @@ class Simulator:
     def event(self) -> Event:
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    def timeout(self, delay_s: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay_s, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)

@@ -96,7 +96,7 @@ class DSF:
             )
         best, best_finish = None, float("inf")
         for device in candidates:
-            exec_time = device.model.execution_time(task.work_gops, task.workload)
+            exec_time = device.model.execution_time(task.work_gop, task.workload)
             backlog = self._queued_seconds.get(device.name, 0.0)
             finish = backlog + exec_time
             if finish < best_finish:
@@ -138,14 +138,17 @@ class DSF:
             self.sim.obs.count("vcu.dispatch_failures")
             done_events[name].fail(err)
             return
-        exec_time = device.model.execution_time(task.work_gops, task.workload)
+        exec_time = device.model.execution_time(task.work_gop, task.workload)
         self._queued_seconds[device.name] = (
             self._queued_seconds.get(device.name, 0.0) + exec_time
         )
         requested_at = self.sim.now
         grant = device.resource.request(priority=priority)
-        yield grant
         try:
+            # The yield is inside the try: an interrupt while still queued
+            # must cancel the request (and unwind the queue accounting),
+            # not leak the slot forever.
+            yield grant
             yield self.sim.timeout(exec_time)
             device.busy_seconds += exec_time
             device.tasks_completed += 1

@@ -25,7 +25,7 @@ FRAME_BYTES = 400_000
 
 
 def adas_frame_graph(
-    lane_gops: float = 0.022, detect_gops: float = 30.5
+    lane_gop: float = 0.022, detect_gop: float = 30.5
 ) -> TaskGraph:
     """Per-frame ADAS perception: lane detection + CNN vehicle detection.
 
@@ -37,8 +37,8 @@ def adas_frame_graph(
         Task("capture", 0.001, WorkloadClass.IO, output_bytes=FRAME_BYTES,
              source_bytes=FRAME_BYTES)
     )
-    graph.add_task(Task("lane-detect", lane_gops, WorkloadClass.VISION, output_bytes=500))
-    graph.add_task(Task("vehicle-detect", detect_gops, WorkloadClass.DNN, output_bytes=2_000))
+    graph.add_task(Task("lane-detect", lane_gop, WorkloadClass.VISION, output_bytes=500))
+    graph.add_task(Task("vehicle-detect", detect_gop, WorkloadClass.DNN, output_bytes=2_000))
     graph.add_task(Task("fuse-alert", 0.002, WorkloadClass.CONTROL, output_bytes=200))
     graph.add_edge("capture", "lane-detect")
     graph.add_edge("capture", "vehicle-detect")

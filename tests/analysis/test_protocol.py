@@ -1,0 +1,224 @@
+"""Direct tests for the resource-protocol and yield-discipline checkers."""
+
+import ast
+import textwrap
+
+from repro.analysis import ProtocolChecker
+from repro.analysis.units import summarize_module
+from repro.analysis.protocol import module_in_protocol_scope
+
+SIM_IMPORT = "from repro.sim.resources import Resource\n"
+
+
+def _check(source, module="worker"):
+    source = SIM_IMPORT + textwrap.dedent(source)
+    tree = ast.parse(source)
+    summary = summarize_module(
+        f"{module}.py", source, tree=tree, module_name=module
+    )
+    return ProtocolChecker().check_module(summary, source, tree)
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -------------------------------------------------------------------- gating
+
+
+def test_test_modules_are_out_of_scope():
+    source = SIM_IMPORT + "def f(pool):\n    grant = pool.request()\n    yield grant\n"
+    tree = ast.parse(source)
+    summary = summarize_module(
+        "test_worker.py", source, tree=tree, module_name="test_worker"
+    )
+    assert not module_in_protocol_scope(summary)
+    assert ProtocolChecker().check_module(summary, source, tree) == []
+
+
+def test_modules_without_sim_imports_are_out_of_scope():
+    source = "def f(pool):\n    grant = pool.request()\n    yield grant\n"
+    tree = ast.parse(source)
+    summary = summarize_module(
+        "worker.py", source, tree=tree, module_name="worker"
+    )
+    assert not module_in_protocol_scope(summary)
+    assert ProtocolChecker().check_module(summary, source, tree) == []
+
+
+# -------------------------------------------------------------------- RES101
+
+
+def test_res101_yield_outside_try_leaks_on_interrupt():
+    findings = _check(
+        """
+        def f(sim, pool):
+            grant = pool.request()
+            yield grant
+            yield sim.timeout(1.0)
+        """
+    )
+    assert _rules(findings) == ["RES101"]
+    assert "requested at line" in findings[0].message
+
+
+def test_res101_clean_with_try_finally():
+    findings = _check(
+        """
+        def f(sim, pool):
+            grant = pool.request()
+            try:
+                yield grant
+                yield sim.timeout(1.0)
+            finally:
+                pool.release(grant)
+        """
+    )
+    assert findings == []
+
+
+def test_res101_release_missing_on_exception_path_only():
+    findings = _check(
+        """
+        def f(sim, pool, store):
+            grant = pool.request()
+            yield grant
+            yield store.get()
+            pool.release(grant)
+        """
+    )
+    assert _rules(findings) == ["RES101"]
+    assert "exception" in findings[0].message
+
+
+def test_res101_overwriting_a_pending_grant():
+    findings = _check(
+        """
+        def f(sim, pool):
+            grant = pool.request()
+            grant = pool.request()
+            try:
+                yield grant
+            finally:
+                pool.release(grant)
+        """
+    )
+    assert _rules(findings) == ["RES101"]
+
+
+def test_returning_the_grant_is_a_sanctioned_handoff():
+    findings = _check(
+        """
+        def acquire(pool):
+            grant = pool.request()
+            return grant
+        """
+    )
+    assert findings == []
+
+
+def test_storing_the_grant_on_self_escapes():
+    findings = _check(
+        """
+        class Holder:
+            def grab(self, pool):
+                self._grant = pool.request()
+        """
+    )
+    assert findings == []
+
+
+# -------------------------------------------------------------------- RES102
+
+
+def test_res102_double_release():
+    findings = _check(
+        """
+        def f(sim, pool):
+            grant = pool.request()
+            try:
+                yield grant
+            finally:
+                pool.release(grant)
+            pool.release(grant)
+        """
+    )
+    assert _rules(findings) == ["RES102"]
+
+
+def test_res102_release_before_yield():
+    findings = _check(
+        """
+        def f(sim, pool):
+            grant = pool.request()
+            pool.release(grant)
+            yield grant
+        """
+    )
+    assert _rules(findings) == ["RES102"]
+
+
+def test_cancel_in_exception_handler_is_allowed():
+    findings = _check(
+        """
+        def f(sim, pool):
+            grant = pool.request()
+            try:
+                yield grant
+                pool.release(grant)
+            except Exception:
+                pool.release(grant)
+                raise
+        """
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------ PROTO001
+
+
+def test_proto001_literal_and_bare_yields():
+    findings = _check(
+        """
+        def sampler(sim, period_s):
+            yield sim.timeout(period_s)
+            yield period_s * 2.0
+            yield
+        """
+    )
+    assert _rules(findings) == ["PROTO001", "PROTO001"]
+
+
+def test_proto001_requires_a_sim_idiom_to_classify_the_generator():
+    findings = _check(
+        """
+        def numbers():
+            yield 1
+            yield 2
+        """
+    )
+    assert findings == []
+
+
+def test_proto001_process_registration_classifies_same_file_generator():
+    findings = _check(
+        """
+        def ticker(sim):
+            yield 1.0
+
+        def boot(sim):
+            sim.process(ticker(sim))
+        """
+    )
+    assert _rules(findings) == ["PROTO001"]
+
+
+def test_proto001_skips_unreachable_yield_after_return():
+    findings = _check(
+        """
+        def never_runs(sim):
+            return
+            yield  # generator marker idiom
+        """
+    )
+    assert findings == []

@@ -9,7 +9,12 @@ written after the linter shipped.
 import os
 
 import repro
-from repro.analysis import lint_paths
+from repro.analysis import (
+    IncrementalAnalyzer,
+    lint_paths,
+    semantic_rules_by_id,
+)
+from repro.analysis.engine import discover_files
 
 
 def repro_source_root() -> str:
@@ -20,6 +25,19 @@ def test_vdaplint_reports_zero_violations_on_src_repro():
     findings = lint_paths([repro_source_root()])
     rendered = "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in findings)
     assert not findings, f"vdaplint found violations in src/repro:\n{rendered}"
+
+
+def test_semantic_tier_reports_zero_violations_on_src_repro():
+    """UNIT/RES/PROTO must be clean too: every public API carries coherent
+    unit suffixes and every sim grant is released on all paths."""
+    files = discover_files([repro_source_root()])
+    run = IncrementalAnalyzer([], semantic_rules_by_id(), cache_dir=None).run(files)
+    rendered = "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in run.findings
+    )
+    assert not run.findings, (
+        f"semantic analysis found violations in src/repro:\n{rendered}"
+    )
 
 
 def test_src_repro_needs_no_baseline_entries():

@@ -1,0 +1,10 @@
+"""Registers the telemetry processes (clean)."""
+
+from repro.sim.core import Simulator
+
+from telemetry import beacon, sampler
+
+
+def boot(sim: Simulator, period_s: float) -> None:
+    sim.process(sampler(sim, period_s))
+    sim.process(beacon(sim))

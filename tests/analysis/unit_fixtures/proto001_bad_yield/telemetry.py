@@ -1,0 +1,19 @@
+"""Seeded bugs: sim processes yielding values the kernel cannot wait on.
+
+Yielding a float (or nothing) from a process generator is a silent
+no-op wait in some kernels and a crash in others; either way the
+author meant ``yield sim.timeout(...)``.
+"""
+
+from repro.sim.core import Simulator
+
+
+def sampler(sim: Simulator, period_s: float):
+    while sim.now < 10.0:
+        yield sim.timeout(period_s)
+        yield period_s * 2.0  # expect-res: PROTO001
+
+
+def beacon(sim: Simulator):
+    yield sim.timeout(1.0)
+    yield  # expect-res: PROTO001

@@ -1,0 +1,8 @@
+"""Helper module: builds the shared accelerator pool (clean)."""
+
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+def make_pool(sim: Simulator, slots: int) -> Resource:
+    return Resource(sim, capacity=slots)

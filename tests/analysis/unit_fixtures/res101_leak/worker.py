@@ -1,0 +1,15 @@
+"""Seeded bug: a grant taken but never released on any path.
+
+If ``run`` is interrupted (or simply finishes), the accelerator slot is
+gone for the rest of the simulation — every later requester queues
+forever behind a phantom holder.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+def run(sim: Simulator, pool: Resource, service_s: float):
+    grant = pool.request()  # expect-res: RES101
+    yield grant
+    yield sim.timeout(service_s)

@@ -1,0 +1,27 @@
+"""Seeded bugs: releasing a grant twice, and releasing before it is held.
+
+A double release corrupts ``sim.resources`` accounting: the second call
+hands the slot to a queued waiter while the capacity counter still
+believes it is free, so two processes end up inside a capacity-1
+section.  Releasing before the grant was ever yielded is the same bug
+one step earlier — the process never actually held the slot.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+def cycle(sim: Simulator, charger: Resource, dwell_s: float):
+    grant = charger.request()
+    try:
+        yield grant
+        yield sim.timeout(dwell_s)
+    finally:
+        charger.release(grant)
+    charger.release(grant)  # expect-res: RES102
+
+
+def impatient(sim: Simulator, charger: Resource):
+    grant = charger.request()
+    charger.release(grant)  # expect-res: RES102
+    yield grant

@@ -1,0 +1,17 @@
+"""Seeded bug: adds a duration to a byte count across modules.
+
+``capture_latency_s`` and ``frame_bytes`` live in another module; only
+their *names* carry the units, so no single-file rule can see the clash.
+"""
+
+from sensors import capture_latency_s, frame_bytes
+
+
+def refresh_budget(fps: float, width: float, height: float) -> float:
+    latency = capture_latency_s(fps)
+    payload = frame_bytes(width, height)
+    return latency + payload  # expect-unit: UNIT001
+
+
+def total_latency_ms(net_ms: float, compute_s: float) -> float:
+    return net_ms + compute_s  # expect-unit: UNIT001

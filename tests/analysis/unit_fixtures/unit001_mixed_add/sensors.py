@@ -1,0 +1,11 @@
+"""Helper module: unit-bearing return values (clean)."""
+
+
+def frame_bytes(width: float, height: float) -> float:
+    """Payload size of one RGB frame."""
+    return width * height * 3.0
+
+
+def capture_latency_s(fps: float) -> float:
+    """Seconds between captures at ``fps``."""
+    return 1.0 / fps

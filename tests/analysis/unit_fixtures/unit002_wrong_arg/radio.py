@@ -1,0 +1,6 @@
+"""Helper module: a transfer-time API with unit-suffixed parameters."""
+
+
+def transmit(payload_bytes: float, rate_mbps: float) -> float:
+    """Seconds to push ``payload_bytes`` through a ``rate_mbps`` link."""
+    return payload_bytes / (rate_mbps * 125_000.0)

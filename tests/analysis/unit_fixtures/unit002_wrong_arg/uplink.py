@@ -1,0 +1,11 @@
+"""Seeded bug: passes a duration where the callee wants a byte count.
+
+The parameter's unit is declared in ``radio.py``; catching the swap
+requires resolving the call through the project signature index.
+"""
+
+from radio import transmit
+
+
+def schedule(chunk_bytes: float, window_s: float) -> float:
+    return transmit(window_s, 40.0)  # expect-unit: UNIT002

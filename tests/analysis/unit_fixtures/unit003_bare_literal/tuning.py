@@ -1,0 +1,21 @@
+"""Seeded bug: a unit-suffixed local born from a bare magic number.
+
+Is 250.0 seconds or milliseconds?  Nothing in the source says; UNIT003
+demands either a ``# unit:`` pragma or a computed value.  The consumer
+module (``watchdog.py``) shows why it matters: the constant crosses a
+module boundary before anything interprets it.
+"""
+
+
+def pick_deadline(load: float) -> float:
+    deadline_s = 250.0  # expect-unit: UNIT003
+    if load > 0.5:
+        deadline_s = deadline_s * 2.0
+    return deadline_s
+
+
+def pick_deadline_ok(load: float) -> float:
+    deadline_s = 0.25  # unit: s
+    if load > 0.5:
+        deadline_s = deadline_s * 2.0
+    return deadline_s

@@ -1,0 +1,8 @@
+"""Consumer of the tuned deadline (clean): the constant crosses modules."""
+
+from tuning import pick_deadline
+
+
+def arm(load: float) -> float:
+    timeout_s = pick_deadline(load)
+    return timeout_s

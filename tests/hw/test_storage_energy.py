@@ -68,7 +68,7 @@ def test_energy_meter_idle_joules():
     proc = _proc(watts=100.0)  # idle = 10 W
     meter.record_busy(proc, 2.0)
     # 10 s wall, 2 s busy -> 8 s idle at 10 W.
-    assert meter.idle_joules(proc, wall_seconds=10.0) == pytest.approx(80.0)
+    assert meter.idle_joules(proc, wall_s=10.0) == pytest.approx(80.0)
 
 
 def test_energy_meter_negative_time_raises():

@@ -21,7 +21,7 @@ def strong_vehicle_world():
 
 def test_layer_profile_totals():
     layers = inception_v3_layers()
-    assert sum(l.gflops for l in layers) == pytest.approx(11.4)
+    assert sum(l.gflop for l in layers) == pytest.approx(11.4)
     # The stem inflates activations above the input size.
     assert layers[0].output_bytes > INPUT_BYTES
     # The final output is tiny (logits).
@@ -106,8 +106,8 @@ def test_speech_encoder_profile_shape():
     sizes = [layer.output_bytes for layer in layers]
     # Monotonically shrinking activations; compute concentrated late.
     assert sizes == sorted(sizes, reverse=True)
-    assert layers[-1].gflops + layers[-2].gflops > sum(
-        l.gflops for l in layers[:3]
+    assert layers[-1].gflop + layers[-2].gflop > sum(
+        l.gflop for l in layers[:3]
     )
 
 

@@ -93,12 +93,12 @@ def test_best_split_equals_brute_force_minimum(layers, input_bytes):
     link = WORLD.links.between(Tier.VEHICLE, Tier.EDGE)
     result_bytes = profiles[-1].output_bytes
     for cut in range(len(profiles) + 1):
-        local = _compute_time(vehicle, sum(p.gflops for p in profiles[:cut]), WC.DNN)
+        local = _compute_time(vehicle, sum(p.gflop for p in profiles[:cut]), WC.DNN)
         if cut == len(profiles):
             candidate = local
         else:
             uplink = input_bytes if cut == 0 else profiles[cut - 1].output_bytes
-            remote_s = _compute_time(remote, sum(p.gflops for p in profiles[cut:]), WC.DNN)
+            remote_s = _compute_time(remote, sum(p.gflop for p in profiles[cut:]), WC.DNN)
             candidate = (local + link.transfer_time(uplink)
                          + link.transfer_time(result_bytes) + remote_s)
         assert decision.latency_s <= candidate + 1e-9

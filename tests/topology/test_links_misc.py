@@ -59,8 +59,8 @@ def test_compressed_variant_accuracy_metadata():
     variant = CompressedVariant(base=MOBILENET_V1, size_ratio=8.0,
                                 flop_ratio=2.0, accuracy_drop=0.015)
     assert variant.size_bytes == pytest.approx(MOBILENET_V1.size_bytes / 8.0)
-    assert variant.forward_gflops == pytest.approx(
-        MOBILENET_V1.forward_gflops / 2.0
+    assert variant.forward_gflop == pytest.approx(
+        MOBILENET_V1.forward_gflop / 2.0
     )
     assert variant.accuracy_drop == 0.015
 
