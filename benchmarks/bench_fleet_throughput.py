@@ -1,0 +1,89 @@
+"""Fleet substrate throughput: events/sec vs partition count.
+
+Measures the crash-tolerant fleet substrate end to end -- worker spawn,
+conservative time-sync rounds over OS pipes, merge -- for the same drive
+at 1, 2, and 4 partitions, plus the in-process single-simulator reference.
+Two throughput figures per row: raw kernel events per wall second, and
+the capacity metric that actually matters for scaling studies,
+vehicle-simulation-seconds per wall second.
+
+The bench doubles as an equality audit: every partitioning must produce
+the reference's per-vehicle trace hashes, or the numbers are measuring
+two different workloads.
+"""
+
+import time  # vdaplint: disable=DET001
+
+import pytest
+
+from conftest import persist_report
+from repro.fleet import FleetConfig, FleetCoordinator, run_single_process
+from repro.obs import Report
+
+PARTITIONS = (1, 2, 4)
+VEHICLES = 8
+DURATION_S = 30.0
+
+
+def fleet_config(partitions: int) -> FleetConfig:
+    return FleetConfig(
+        seed=17,
+        vehicles=VEHICLES,
+        partitions=partitions,
+        duration_s=DURATION_S,
+        barrier_deadline_s=120.0,
+    )
+
+
+def run_all():
+    rows = []
+    reference = None
+    start = time.perf_counter()  # vdaplint: disable=DET001
+    inline = run_single_process(fleet_config(1))
+    rows.append(("inline", time.perf_counter() - start, inline))  # vdaplint: disable=DET001
+    reference = inline
+    for partitions in PARTITIONS:
+        start = time.perf_counter()  # vdaplint: disable=DET001
+        with FleetCoordinator(fleet_config(partitions)) as coordinator:
+            result = coordinator.run()
+        wall_s = time.perf_counter() - start  # vdaplint: disable=DET001
+        assert result.vehicle_hashes == reference.vehicle_hashes, (
+            f"{partitions}-partition run diverged from the reference"
+        )
+        rows.append((f"{partitions}p", wall_s, result))
+    return rows
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_throughput(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report = Report(
+        "BENCH_fleet",
+        f"Fleet throughput: {VEHICLES} vehicles, {DURATION_S:g}s drive, "
+        f"partitioned vs inline",
+    )
+    report.add_column("mode", 8, align="left")
+    report.add_column("wall_s", 9, ".2f")
+    report.add_column("events", 9, "d")
+    report.add_column("events_per_s", 14, ".0f", header="events/s")
+    report.add_column("vsim_per_wall", 16, ".1f", header="veh*sim-s/wall-s")
+    for mode, wall_s, result in rows:
+        events = result.stats.events_fired
+        report.add_row(
+            mode=mode,
+            wall_s=wall_s,
+            events=events,
+            events_per_s=events / wall_s,
+            vsim_per_wall=VEHICLES * DURATION_S / wall_s,
+        )
+    reference = rows[0][2]
+    report.note(
+        f"all modes hash-identical over {len(reference.vehicle_hashes)} "
+        f"vehicles ({reference.stats.events_fired} events)"
+    )
+    report.note(
+        f"rounds per run: {reference.stats.rounds}; "
+        f"envelopes routed: {reference.stats.envelopes_routed}"
+    )
+    persist_report(report)

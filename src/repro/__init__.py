@@ -13,6 +13,7 @@ A full-stack, simulation-backed reproduction of Zhang et al., ICDCS 2018:
   data sharing
 * :mod:`repro.ddi` -- the driving data integrator
 * :mod:`repro.faults` -- deterministic fault injection + resilience primitives
+* :mod:`repro.fleet` -- crash-tolerant partitioned multi-process simulation
 * :mod:`repro.libvdap` -- the open application library (models, pBEAM, API)
 * :mod:`repro.apps` -- the four in-vehicle service classes + V2V collab
 * :mod:`repro.obs` -- deterministic observability: metric registry, span
@@ -27,8 +28,8 @@ that still reaches for it.
 
 __version__ = "1.0.0"
 
-from . import analysis, apps, ddi, edgeos, faults, hw, libvdap, net, nn, obs, offload, sim
-from . import scenario, topology, vcu, vision, workloads
+from . import analysis, apps, ddi, edgeos, faults, fleet, hw, libvdap, net, nn, obs, offload
+from . import scenario, sim, topology, vcu, vision, workloads
 
 
 def __getattr__(name: str):
@@ -48,6 +49,7 @@ __all__ = [  # vdaplint: disable=API001
     "ddi",
     "edgeos",
     "faults",
+    "fleet",
     "hw",
     "libvdap",
     "metrics",

@@ -5,7 +5,9 @@ SIV-C): :mod:`repro.faults.plan` describes *what breaks when* as
 seed-reproducible data, :mod:`repro.faults.injector` replays a plan on the
 simulation clock, and :mod:`repro.faults.resilience` supplies the
 retry/backoff and circuit-breaker machinery the rest of the platform uses
-to survive it.
+to survive it.  :mod:`repro.faults.prockill` targets the layer underneath
+the simulation -- OS worker processes hosting fleet partitions
+(:mod:`repro.fleet`) -- with seed-deterministic SIGKILL schedules.
 """
 
 from .injector import (
@@ -18,6 +20,7 @@ from .injector import (
     world_fault_targets,
 )
 from .plan import DEFAULT_RATES, FaultEvent, FaultKind, FaultPlan, FaultRates
+from .prockill import KillPhase, KillPlan, WorkerKill
 from .resilience import BreakerState, CircuitBreaker, CircuitOpenError, RetryPolicy
 
 __all__ = [
@@ -31,7 +34,10 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultRates",
+    "KillPhase",
+    "KillPlan",
     "RetryPolicy",
+    "WorkerKill",
     "collector_key",
     "link_key",
     "processor_key",

@@ -1,0 +1,83 @@
+"""repro.fleet: crash-tolerant partitioned multi-process simulation.
+
+The fleet substrate scales the platform's single-vehicle determinism
+story to many vehicles across OS processes without giving any of it up:
+
+* :mod:`repro.fleet.config` -- :class:`FleetConfig` (one config, any
+  partition count, same traces) and per-worker :class:`PartitionSpec`;
+* :mod:`repro.fleet.runtime` -- :class:`PartitionRuntime`, a shard of
+  vehicles on one kernel, advanced in conservative time-sync rounds with
+  all V2V traffic barrier-exchanged in canonical order;
+* :mod:`repro.fleet.transport` -- the picklable coordinator<->worker
+  protocol plus deadline-bounded pipes;
+* :mod:`repro.fleet.journal` / :mod:`repro.fleet.recovery` -- the
+  seed+replay crash-recovery contract: journal every inbound batch,
+  respawn from spec, replay to the last committed barrier, prove the
+  replay hash-identical;
+* :mod:`repro.fleet.worker` -- the child process entry point and handle;
+* :mod:`repro.fleet.coordinator` -- :class:`FleetCoordinator` (the
+  control plane: barriers, deadlines, straggler backoff, failover) and
+  :func:`run_single_process`, the unsharded golden reference a
+  partitioned run must match hash for hash.
+"""
+
+from .config import FleetConfig, PartitionSpec, shard_vehicles
+from .coordinator import (
+    FleetCoordinator,
+    FleetResult,
+    FleetStats,
+    run_single_process,
+)
+from .journal import JournalEntry, PartitionJournal, ReplayDivergence
+from .recovery import FleetError, RecoveryPolicy, respawn_and_replay
+from .runtime import PartitionRuntime, RoundResult, V2VBus, VehicleTraceHash
+from .transport import (
+    AdvanceCmd,
+    BarrierTimeout,
+    Envelope,
+    FinishAck,
+    FinishCmd,
+    Heartbeat,
+    Hello,
+    PipeEndpoint,
+    RoundAck,
+    WorkerFailed,
+    WorkerGone,
+    sort_envelopes,
+)
+from .worker import WorkerHandle, partition_worker_main, spawn_worker
+
+__all__ = [
+    "AdvanceCmd",
+    "BarrierTimeout",
+    "Envelope",
+    "FinishAck",
+    "FinishCmd",
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetError",
+    "FleetResult",
+    "FleetStats",
+    "Heartbeat",
+    "Hello",
+    "JournalEntry",
+    "PartitionJournal",
+    "PartitionRuntime",
+    "PartitionSpec",
+    "PipeEndpoint",
+    "RecoveryPolicy",
+    "ReplayDivergence",
+    "RoundAck",
+    "RoundResult",
+    "V2VBus",
+    "VehicleTraceHash",
+    "WorkerFailed",
+    "WorkerGone",
+    "WorkerHandle",
+    "partition_worker_main",
+    "respawn_and_replay",
+    "run_single_process",
+    "shard_vehicles",
+    "sort_envelopes",
+    "spawn_worker",
+]

@@ -1,0 +1,200 @@
+"""Fleet configuration: what a partitioned simulation is made of.
+
+A :class:`FleetConfig` fully determines a fleet run -- vehicle count,
+partition count, barrier cadence, V2V link latency, seeds -- so that one
+config yields identical per-vehicle event traces whether it runs as a
+single in-process simulator or as N coordinated worker processes.  The
+conservative-time-sync invariant lives here: the barrier step may never
+exceed the cross-partition lookahead (the minimum V2V link latency),
+which is what guarantees a message sent in round *k* cannot be due before
+round *k+1* starts.
+
+A :class:`PartitionSpec` is the picklable sub-config one worker process
+receives: the shared config, its partition index, and its vehicle shard.
+Respawned workers get the same spec (minus any armed kill plan), which is
+why seed+replay recovery reproduces the original run exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..faults.prockill import KillPlan
+
+__all__ = ["FleetConfig", "PartitionSpec", "shard_vehicles"]
+
+
+def shard_vehicles(vehicles: int, partitions: int) -> list[tuple[int, ...]]:
+    """Round-robin vehicle indices over partitions (stable, load-balanced)."""
+    if vehicles < 1:
+        raise ValueError(f"need at least one vehicle, got {vehicles}")
+    if not 1 <= partitions <= vehicles:
+        raise ValueError(
+            f"partitions must be in [1, {vehicles}], got {partitions}"
+        )
+    return [
+        tuple(v for v in range(vehicles) if v % partitions == p)
+        for p in range(partitions)
+    ]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything that defines one fleet run (picklable, seed-stamped).
+
+    ``barrier_s`` defaults to the lookahead (``v2v_latency_s``) -- the
+    largest step conservative sync allows.  ``barrier_deadline_s`` is a
+    **wall-clock** budget per barrier: a worker that misses it is a
+    straggler (retried once with backoff), then failed over.
+    """
+
+    seed: int = 0
+    vehicles: int = 4
+    partitions: int = 2
+    duration_s: float = 12.0
+    tick_s: float = 1.0
+    v2v_latency_s: float = 1.0
+    barrier_s: float | None = None
+    beacon_period_s: float = 2.0
+    with_services: bool = True
+    edge_count: int = 2
+    edge_spacing_m: float = 450.0
+    barrier_deadline_s: float = 60.0
+    kill_plan: KillPlan | None = None
+    straggle_s: tuple[tuple[tuple[int, int], float], ...] = field(
+        default_factory=tuple
+    )
+    start_method: str | None = None
+
+    def __post_init__(self):
+        if self.vehicles < 1:
+            raise ValueError("need at least one vehicle")
+        if not 1 <= self.partitions <= self.vehicles:
+            raise ValueError("partitions must be in [1, vehicles]")
+        if self.duration_s <= 0 or self.tick_s <= 0:
+            raise ValueError("duration and tick must be positive")
+        if self.v2v_latency_s <= 0:
+            raise ValueError("v2v latency must be positive")
+        if self.beacon_period_s <= 0:
+            raise ValueError("beacon period must be positive")
+        if self.barrier_deadline_s <= 0:
+            raise ValueError("barrier deadline must be positive")
+        step = self.barrier_step_s
+        if step <= 0:
+            raise ValueError("barrier step must be positive")
+        if step > self.v2v_latency_s + 1e-12:
+            raise ValueError(
+                f"conservative sync violated: barrier step {step} exceeds "
+                f"lookahead (min V2V latency) {self.v2v_latency_s}"
+            )
+
+    # -- derived geometry --------------------------------------------------
+
+    @property
+    def barrier_step_s(self) -> float:
+        """The time-sync round length (defaults to the lookahead)."""
+        return self.barrier_s if self.barrier_s is not None else self.v2v_latency_s
+
+    def barriers(self) -> list[float]:
+        """The barrier times: ``step, 2*step, ..., duration`` (inclusive)."""
+        step = self.barrier_step_s
+        count = max(1, math.ceil(self.duration_s / step - 1e-9))
+        times = [step * k for k in range(1, count)]
+        times.append(self.duration_s)
+        return times
+
+    def shards(self) -> list[tuple[int, ...]]:
+        """Vehicle indices per partition (round-robin)."""
+        return shard_vehicles(self.vehicles, self.partitions)
+
+    # -- per-vehicle derivations -------------------------------------------
+
+    def vehicle_label(self, index: int) -> str:
+        """Stable display/trace name for one vehicle."""
+        return f"cav-{index:03d}"
+
+    def vehicle_seed(self, index: int) -> int:
+        """Independent per-vehicle seed (same derivation as RngRegistry.fork)."""
+        return self.seed * 1_000_003 + index
+
+    def vehicle_speed_mps(self, index: int) -> float:
+        """Deterministic per-vehicle cruise speed (staggers the traces).
+
+        Derived from the per-vehicle seed (not the partition layout), so
+        it is partition-invariant but does change with ``seed`` -- the
+        hook that makes the fleet's event traces seed-sensitive.
+        """
+        jitter = np.random.default_rng(self.vehicle_seed(index)).uniform()
+        return 8.0 + 1.5 * (index % 6) + round(float(jitter), 3)
+
+    def neighbors(self, index: int) -> tuple[int, ...]:
+        """Ring-topology V2V neighbours of one vehicle (global indices)."""
+        if self.vehicles < 2:
+            return ()
+        if self.vehicles == 2:
+            return (1 - index,)
+        return tuple(
+            sorted({(index - 1) % self.vehicles, (index + 1) % self.vehicles})
+        )
+
+    def straggle_for(self, partition: int, round_index: int) -> float:
+        """Injected wall-clock stall for one (partition, round), if any."""
+        for (part, rnd), seconds in self.straggle_s:
+            if part == partition and rnd == round_index:
+                return seconds
+        return 0.0
+
+    def spec_for(self, partition: int) -> "PartitionSpec":
+        """The spec handed to one worker process."""
+        shard = self.shards()[partition]
+        kill = (
+            self.kill_plan.for_partition(partition)
+            if self.kill_plan is not None and len(self.kill_plan.for_partition(partition))
+            else None
+        )
+        return PartitionSpec(
+            config=self,
+            partition=partition,
+            vehicle_indices=shard,
+            kill_plan=kill,
+            straggle_s=tuple(
+                (key, seconds)
+                for key, seconds in self.straggle_s
+                if key[0] == partition
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One worker's slice of the fleet (picklable; crosses the process gap).
+
+    ``kill_plan`` and ``straggle_s`` carry only this partition's scheduled
+    faults and are *disarmed* on respawn -- the fault already fired once,
+    and a recovered worker that re-stalled or re-crashed on the replayed
+    round would livelock the failover loop.
+    """
+
+    config: FleetConfig
+    partition: int
+    vehicle_indices: tuple[int, ...]
+    kill_plan: KillPlan | None = None
+    straggle_s: tuple[tuple[tuple[int, int], float], ...] = ()
+
+    def __post_init__(self):
+        if not self.vehicle_indices:
+            raise ValueError("a partition must own at least one vehicle")
+
+    def straggle_for(self, round_index: int) -> float:
+        """Injected wall-clock stall for one round of this partition."""
+        for (_part, rnd), seconds in self.straggle_s:
+            if rnd == round_index:
+                return seconds
+        return 0.0
+
+    def disarmed(self) -> "PartitionSpec":
+        """The same spec with every armed fault removed (for respawns)."""
+        return replace(self, kill_plan=None, straggle_s=())

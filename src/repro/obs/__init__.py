@@ -31,7 +31,9 @@ from .metrics import (
     Summary,
     Timeline,
     diff_snapshots,
+    merge_many,
     merge_snapshots,
+    mergeable_view,
 )
 from .recorder import NULL_RECORDER, Collector, Recorder
 from .report import Column, Report
@@ -54,5 +56,7 @@ __all__ = [
     "Summary",
     "Timeline",
     "diff_snapshots",
+    "merge_many",
     "merge_snapshots",
+    "mergeable_view",
 ]

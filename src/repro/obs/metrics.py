@@ -32,6 +32,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "diff_snapshots",
     "merge_snapshots",
+    "merge_many",
+    "mergeable_view",
 ]
 
 #: Default histogram bucket upper bounds: a geometric ladder that covers
@@ -421,6 +423,70 @@ def merge_snapshots(a: dict, b: dict) -> dict:
         for q in TRACKED_QUANTILES:
             merged[f"p{int(q * 100)}"] = rebuilt.quantile_from_buckets(q)
         out["histograms"][key] = merged
+    return out
+
+
+def merge_many(snapshots: "list[dict] | tuple[dict, ...]") -> dict:
+    """Fold any number of snapshots into one aggregate (left to right).
+
+    The fleet-merge entry point: a coordinator collects one snapshot per
+    partition and merges them into the single-registry view an unsharded
+    run would have produced.  An empty list merges to an empty snapshot.
+    """
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        out = merge_snapshots(out, snap)
+    return out
+
+
+def _quantize(value: float) -> float:
+    """Collapse float-summation order noise (9 significant digits)."""
+    return float(f"{value:.9g}")
+
+
+def mergeable_view(snapshot: dict) -> dict:
+    """The partition-invariant core of a snapshot.
+
+    Sharding a simulation changes *how* metrics are accumulated, not what
+    happened: per-partition registries merged with :func:`merge_many`
+    must equal the single-registry run on every series that aggregates
+    commutatively.  This view keeps exactly that subset:
+
+    * counters -- sums, kept (quantized: float addition orders differ);
+    * gauges -- ``min``/``max``/``sets`` kept, ``last`` dropped (which
+      vehicle recorded last depends on registry interleaving);
+    * histograms -- ``count``/``sum``/``min``/``max``/``mean``/``buckets``
+      kept, streaming quantile estimates dropped (P-squared markers are
+      order-sensitive and merges re-estimate from buckets);
+    * ``sim.queue_depth`` dropped entirely (the shared queue's depth is a
+      property of the partitioning, not the workload).
+
+    Two runs of the same fleet at different partition counts must produce
+    byte-identical mergeable views -- that equality is asserted in CI.
+    """
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for key, value in snapshot.get("counters", {}).items():
+        out["counters"][key] = _quantize(value)
+    for key, gauge in snapshot.get("gauges", {}).items():
+        if key.startswith("sim.queue_depth"):
+            continue
+        out["gauges"][key] = {
+            "min": _quantize(gauge["min"]),
+            "max": _quantize(gauge["max"]),
+            "sets": gauge["sets"],
+        }
+    for key, hist in snapshot.get("histograms", {}).items():
+        if key.startswith("sim.queue_depth"):
+            continue
+        out["histograms"][key] = {
+            "count": hist["count"],
+            "sum": _quantize(hist["sum"]),
+            "min": _quantize(hist["min"]),
+            "max": _quantize(hist["max"]),
+            "mean": _quantize(hist["mean"]),
+            "buckets": list(hist["buckets"]),
+            "bounds": list(hist["bounds"]),
+        }
     return out
 
 

@@ -275,8 +275,7 @@ class DistributedExecutor:
                         attempt_proc, self.sim.timeout(self.retry.attempt_timeout_s)
                     )
                     if winner == 1:
-                        if attempt_proc.is_alive:
-                            attempt_proc.interrupt("attempt timeout")
+                        attempt_proc.try_interrupt("attempt timeout")
                         raise _AttemptFailed(f"attempt timed out on {tier}")
                 else:
                     yield attempt_proc

@@ -89,6 +89,8 @@ class DriveScenario:
         ddi_root: str | None = None,
         execute_distributed: bool = False,
         observe: Recorder | None = None,
+        sim: Simulator | None = None,
+        label: str = "cav",
     ):
         """``execute_distributed=True`` additionally runs every invocation's
         full placed graph through the :class:`DistributedExecutor`, so the
@@ -100,14 +102,25 @@ class DriveScenario:
         every subsystem sharing this scenario's simulator (kernel, DSF,
         executor) plus the scenario's own drive-loop hooks; export its
         metrics/trace JSON after :meth:`run`.  Omitted, every hook hits the
-        no-op recorder."""
+        no-op recorder.
+
+        ``sim`` makes the scenario *shardable*: pass an existing simulator
+        and this scenario coexists with others on the same event loop (one
+        partition of a fleet runs many labelled scenarios on one kernel).
+        A shared simulator brings its own recorder, so ``observe`` cannot
+        be combined with it.  ``label`` names this vehicle's processes on
+        the shared loop (``<label>/drive``)."""
         if tick_s <= 0:
             raise ValueError("tick must be positive")
+        if sim is not None and observe is not None:
+            raise ValueError("a shared sim brings its own recorder; "
+                             "pass observe= to the Simulator instead")
         self.world = world or build_default_world()
         self.tick_s = tick_s
+        self.label = label
         self.execute_distributed = execute_distributed
         self.rng = np.random.default_rng(seed)
-        self.sim = Simulator(obs=observe)
+        self.sim = sim if sim is not None else Simulator(obs=observe)
         self.obs: Recorder = self.sim.obs
         self.mhep = MHEP(self.sim)
         for processor in self.world.vehicle.processors:
@@ -121,6 +134,7 @@ class DriveScenario:
             self.ddi = DDIService(lambda: self.sim.now, DiskDB(ddi_root))
         self._services: list[PolymorphicService] = []
         self._periods: dict[str, float] = {}
+        self._pending_report: ScenarioReport | None = None
 
     def add_service(self, service: PolymorphicService, period_s: float = 1.0) -> None:
         """Manage a service, invoking it every ``period_s`` of the drive."""
@@ -158,8 +172,16 @@ class DriveScenario:
 
     # -- the drive loop ------------------------------------------------------------
 
-    def run(self, duration_s: float) -> ScenarioReport:
-        """Execute the drive and return the consolidated report."""
+    def launch(self, duration_s: float) -> ScenarioReport:
+        """Register the drive loop on the simulator without running it.
+
+        The sharding entry point: a fleet partition launches one scenario
+        per vehicle on a shared simulator, then drives the loop itself in
+        barrier-aligned rounds (:meth:`~repro.sim.core.Simulator.
+        run_to_barrier`).  Returns the report object, which fills in as
+        the drive progresses; call :meth:`finalize` once the simulator is
+        done to complete the energy/DDI fields.
+        """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         report = ScenarioReport(duration_s=duration_s)
@@ -242,9 +264,17 @@ class DriveScenario:
                     self.ddi.collect_all(sim.now)
                 yield sim.timeout(self.tick_s)
 
-        self.sim.process(control_loop(self.sim))
-        self.sim.run()
+        self.sim.process(control_loop(self.sim), name=f"{self.label}/drive")
+        self._pending_report = report
+        return report
 
+    def finalize(self) -> ScenarioReport:
+        """Complete a launched drive's report (energy, DDI totals)."""
+        report = self._pending_report
+        if report is None:
+            raise RuntimeError("finalize() without a launched drive")
+        self._pending_report = None
+        obs = self.obs
         report.vehicle_energy_j = self.dsf.energy.busy_joules()
         if self.ddi is not None:
             report.ddi_records = self.ddi.uploads
@@ -255,3 +285,9 @@ class DriveScenario:
                 obs.gauge("scenario.ddi_records", report.ddi_records)
                 obs.gauge("scenario.ddi_cache_hit_rate", report.ddi_cache_hit_rate)
         return report
+
+    def run(self, duration_s: float) -> ScenarioReport:
+        """Execute the drive and return the consolidated report."""
+        self.launch(duration_s)
+        self.sim.run()
+        return self.finalize()

@@ -5,6 +5,7 @@ from .core import (
     AnyOf,
     Event,
     Interrupt,
+    KernelCheckpoint,
     Process,
     Race,
     SimulationError,
@@ -20,6 +21,7 @@ __all__ = [
     "Container",
     "Event",
     "Interrupt",
+    "KernelCheckpoint",
     "PriorityStore",
     "Process",
     "Race",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, NamedTuple, Optional
 
 from ..obs.recorder import NULL_RECORDER, Recorder
 
@@ -35,6 +35,7 @@ __all__ = [
     "AllOf",
     "Race",
     "Interrupt",
+    "KernelCheckpoint",
     "Simulator",
     "SimulationError",
 ]
@@ -165,6 +166,20 @@ class Process(Event):
         wake = Event(self.sim)
         wake.callbacks.append(lambda _evt: self._step_throw(Interrupt(cause)))
         wake.succeed()
+
+    def try_interrupt(self, cause: Any = None) -> bool:
+        """Interrupt the process if it is still alive; no-op otherwise.
+
+        Supervisor and watchdog paths race their deadline against the work
+        they guard, and both can fire in the same event round -- a process
+        that finished just before its supervisor's timeout is not an error.
+        Returns True if the interrupt was delivered, False if the process
+        had already finished.
+        """
+        if self.triggered:
+            return False
+        self.interrupt(cause)
+        return True
 
     # -- internal stepping ------------------------------------------------
 
@@ -330,6 +345,20 @@ class Race(Event):
         self.succeed((index, event._value))
 
 
+class KernelCheckpoint(NamedTuple):
+    """Barrier-aligned kernel state digest: where a run stands right now.
+
+    Cheap enough to take at every time-sync barrier; the fleet substrate
+    ships one per round so a coordinator can sanity-check progress
+    (monotonic time, monotonic event count) without seeing the queue.
+    """
+
+    time: float
+    events_fired: int
+    queue_depth: int
+    next_event_s: float
+
+
 class Simulator:
     """The event loop: a priority queue of (time, priority, seq, event).
 
@@ -339,6 +368,11 @@ class Simulator:
     default is the shared no-op recorder, which costs one predicate per
     event.  Subsystems holding a simulator reference record through
     ``sim.obs``, so installing one collector instruments all of them.
+
+    Trace taps (:meth:`add_trace_tap`) are the first-class export hook for
+    event-trace hashing: each tap is called as ``tap(event, when)`` for
+    every event the loop fires, in firing order.  Zero-cost when no tap is
+    installed (one truthiness check per event).
     """
 
     def __init__(self, obs: Recorder | None = None):
@@ -346,6 +380,8 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._stopped = False
+        self._fired = 0
+        self._taps: list[Callable[[Event, float], None]] = []
         self.obs: Recorder = obs if obs is not None else NULL_RECORDER
         if obs is not None:
             obs.bind_clock(lambda: self._now)
@@ -353,6 +389,35 @@ class Simulator:
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total events the loop has fired since construction."""
+        return self._fired
+
+    # -- trace taps --------------------------------------------------------
+
+    def add_trace_tap(self, tap: Callable[[Event, float], None]) -> None:
+        """Install a per-fired-event callback ``tap(event, when)``.
+
+        Taps observe the canonical firing order (the determinism
+        contract's event trace); they must not schedule events or mutate
+        simulation state.
+        """
+        self._taps.append(tap)
+
+    def remove_trace_tap(self, tap: Callable[[Event, float], None]) -> None:
+        """Uninstall a previously added tap (ValueError if absent)."""
+        self._taps.remove(tap)
+
+    def checkpoint(self) -> KernelCheckpoint:
+        """A :class:`KernelCheckpoint` of the loop's current state."""
+        return KernelCheckpoint(
+            time=self._now,
+            events_fired=self._fired,
+            queue_depth=len(self._queue),
+            next_event_s=self.peek(),
+        )
 
     # -- event factories ---------------------------------------------------
 
@@ -419,13 +484,33 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             self._now = when
+            self._fired += 1
             if record:
                 obs.count("sim.events_fired")
                 obs.observe("sim.queue_depth", len(self._queue))
+            if self._taps:
+                for tap in self._taps:
+                    tap(event, when)
             event._resolve()
         if until is not None and not self._stopped:
             self._now = max(self._now, until)
         return self._now
+
+    def run_to_barrier(self, barrier_s: float) -> KernelCheckpoint:
+        """Barrier-aligned run: advance exactly to ``barrier_s``.
+
+        The conservative-time-sync primitive: fires every event at
+        ``t <= barrier_s``, leaves the clock pinned at the barrier even if
+        no event lands there, and returns a :class:`KernelCheckpoint`
+        taken at the barrier.  Unlike :meth:`run`, a barrier in the past
+        is always an error (a coordinator must never rewind a partition).
+        """
+        if barrier_s < self._now:
+            raise SimulationError(
+                f"barrier {barrier_s} is behind the clock (now={self._now})"
+            )
+        self.run(until=barrier_s)
+        return self.checkpoint()
 
     def step(self) -> float:
         """Process exactly one event; returns the new time."""
@@ -433,7 +518,11 @@ class Simulator:
             raise SimulationError("step() on an empty event queue")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self._fired += 1
         if self.obs.enabled:
             self.obs.count("sim.events_fired")
+        if self._taps:
+            for tap in self._taps:
+                tap(event, when)
         event._resolve()
         return self._now

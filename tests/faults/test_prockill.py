@@ -1,0 +1,72 @@
+"""KillPlan: validation, sub-plans, seed-deterministic generation."""
+
+import pickle
+
+import pytest
+
+from repro.faults import KillPhase, KillPlan, WorkerKill
+
+
+class TestWorkerKill:
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            WorkerKill(partition=-1, barrier_index=0)
+        with pytest.raises(ValueError):
+            WorkerKill(partition=0, barrier_index=-2)
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            WorkerKill(partition=0, barrier_index=0, phase="sometime")
+
+
+class TestKillPlan:
+    def test_duplicate_slot_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            KillPlan(kills=(
+                WorkerKill(0, 1, KillPhase.ON_ADVANCE),
+                WorkerKill(0, 1, KillPhase.BEFORE_ACK),
+            ))
+
+    def test_lookup_and_partition_filter(self):
+        plan = KillPlan(kills=(WorkerKill(0, 1), WorkerKill(2, 3)))
+        assert plan.kill_for(0, 1) is not None
+        assert plan.kill_for(0, 2) is None
+        sub = plan.for_partition(2)
+        assert len(sub) == 1
+        assert sub.kill_for(2, 3) is not None
+        assert sub.kill_for(0, 1) is None
+
+    def test_single_helper(self):
+        plan = KillPlan.single(1, 4, KillPhase.ON_ADVANCE)
+        assert len(plan) == 1
+        assert plan.kill_for(1, 4).phase == KillPhase.ON_ADVANCE
+
+    def test_picklable(self):
+        plan = KillPlan.single(1, 4)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        a = KillPlan.generate(seed=9, partitions=4, barriers=8, kills=3)
+        b = KillPlan.generate(seed=9, partitions=4, barriers=8, kills=3)
+        assert a == b
+        assert len(a) == 3
+
+    def test_different_seed_usually_differs(self):
+        plans = {
+            KillPlan.generate(seed=s, partitions=4, barriers=8, kills=2)
+            for s in range(6)
+        }
+        assert len(plans) > 1
+
+    def test_kills_land_inside_the_grid(self):
+        plan = KillPlan.generate(seed=1, partitions=3, barriers=5, kills=5)
+        for kill in plan.kills:
+            assert 0 <= kill.partition < 3
+            assert 0 <= kill.barrier_index < 5
+            assert kill.phase in KillPhase.ALL
+
+    def test_over_budget_rejected(self):
+        with pytest.raises(ValueError):
+            KillPlan.generate(seed=1, partitions=2, barriers=2, kills=5)

@@ -1,0 +1,136 @@
+"""FleetConfig / PartitionSpec geometry and validation."""
+
+import pickle
+
+import pytest
+
+from repro.faults import KillPhase, KillPlan
+from repro.fleet import FleetConfig, PartitionSpec, shard_vehicles
+
+
+class TestShardVehicles:
+    def test_round_robin(self):
+        assert shard_vehicles(5, 2) == [(0, 2, 4), (1, 3)]
+
+    def test_single_partition_owns_everything(self):
+        assert shard_vehicles(4, 1) == [(0, 1, 2, 3)]
+
+    def test_every_vehicle_exactly_once(self):
+        shards = shard_vehicles(13, 5)
+        flat = sorted(v for shard in shards for v in shard)
+        assert flat == list(range(13))
+
+    def test_more_partitions_than_vehicles_rejected(self):
+        with pytest.raises(ValueError):
+            shard_vehicles(2, 3)
+
+
+class TestBarriers:
+    def test_default_step_is_the_lookahead(self):
+        cfg = FleetConfig(vehicles=2, partitions=1, v2v_latency_s=2.0,
+                          duration_s=8.0)
+        assert cfg.barrier_step_s == 2.0
+        assert cfg.barriers() == [2.0, 4.0, 6.0, 8.0]
+
+    def test_final_barrier_is_exactly_the_duration(self):
+        cfg = FleetConfig(vehicles=2, partitions=1, v2v_latency_s=1.0,
+                          duration_s=5.5)
+        barriers = cfg.barriers()
+        assert barriers[-1] == 5.5
+        assert barriers == [1.0, 2.0, 3.0, 4.0, 5.0, 5.5]
+
+    def test_short_drive_is_one_barrier(self):
+        cfg = FleetConfig(vehicles=2, partitions=1, v2v_latency_s=2.0,
+                          duration_s=1.0)
+        assert cfg.barriers() == [1.0]
+
+    def test_barriers_strictly_increase(self):
+        cfg = FleetConfig(vehicles=2, partitions=1, v2v_latency_s=0.7,
+                          duration_s=10.0)
+        barriers = cfg.barriers()
+        assert all(b > a for a, b in zip(barriers, barriers[1:]))
+        assert barriers[-1] == 10.0
+
+    def test_step_beyond_lookahead_rejected(self):
+        with pytest.raises(ValueError, match="conservative sync"):
+            FleetConfig(vehicles=2, partitions=1, v2v_latency_s=1.0,
+                        barrier_s=1.5)
+
+    def test_step_below_lookahead_allowed(self):
+        cfg = FleetConfig(vehicles=2, partitions=1, v2v_latency_s=2.0,
+                          barrier_s=0.5, duration_s=2.0)
+        assert cfg.barriers() == [0.5, 1.0, 1.5, 2.0]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"vehicles": 0},
+        {"vehicles": 2, "partitions": 0},
+        {"vehicles": 2, "partitions": 3},
+        {"duration_s": 0.0},
+        {"tick_s": -1.0},
+        {"v2v_latency_s": 0.0},
+        {"beacon_period_s": 0.0},
+        {"barrier_deadline_s": 0.0},
+    ])
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetConfig(**kwargs)
+
+
+class TestNeighbors:
+    def test_ring(self):
+        cfg = FleetConfig(vehicles=4, partitions=1)
+        assert cfg.neighbors(0) == (1, 3)
+        assert cfg.neighbors(2) == (1, 3)
+
+    def test_pair_has_one_neighbor(self):
+        cfg = FleetConfig(vehicles=2, partitions=1)
+        assert cfg.neighbors(0) == (1,)
+        assert cfg.neighbors(1) == (0,)
+
+    def test_singleton_has_none(self):
+        cfg = FleetConfig(vehicles=1, partitions=1)
+        assert cfg.neighbors(0) == ()
+
+
+class TestPartitionSpec:
+    def test_spec_carries_only_own_faults(self):
+        cfg = FleetConfig(
+            vehicles=4, partitions=2, kill_plan=KillPlan.single(1, 2),
+            straggle_s=(((0, 1), 2.0), ((1, 3), 4.0)),
+        )
+        spec0, spec1 = cfg.spec_for(0), cfg.spec_for(1)
+        assert spec0.kill_plan is None
+        assert spec1.kill_plan.kill_for(1, 2) is not None
+        assert spec0.straggle_for(1) == 2.0
+        assert spec0.straggle_for(3) == 0.0
+        assert spec1.straggle_for(3) == 4.0
+
+    def test_disarmed_clears_every_fault(self):
+        cfg = FleetConfig(
+            vehicles=4, partitions=2,
+            kill_plan=KillPlan.single(0, 1, KillPhase.ON_ADVANCE),
+            straggle_s=(((0, 2), 9.0),),
+        )
+        spec = cfg.spec_for(0).disarmed()
+        assert spec.kill_plan is None
+        assert spec.straggle_for(2) == 0.0
+        assert spec.vehicle_indices == (0, 2)
+
+    def test_spec_is_picklable(self):
+        cfg = FleetConfig(vehicles=4, partitions=2,
+                          kill_plan=KillPlan.single(1, 0))
+        spec = cfg.spec_for(1)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_empty_shard_rejected(self):
+        cfg = FleetConfig(vehicles=2, partitions=1)
+        with pytest.raises(ValueError):
+            PartitionSpec(config=cfg, partition=0, vehicle_indices=())
+
+    def test_vehicle_seeds_distinct(self):
+        cfg = FleetConfig(seed=7, vehicles=16, partitions=2)
+        seeds = {cfg.vehicle_seed(v) for v in range(16)}
+        assert len(seeds) == 16

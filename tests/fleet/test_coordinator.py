@@ -1,0 +1,140 @@
+"""Coordinator end-to-end: equality, recovery, stragglers, clean shutdown.
+
+These tests spawn real worker processes.  Configs stay tiny (4 vehicles,
+a few barriers) so each run is well under a second of work per process.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import KillPhase, KillPlan
+from repro.fleet import (
+    FleetConfig,
+    FleetCoordinator,
+    FleetError,
+    RecoveryPolicy,
+    run_single_process,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FleetConfig(seed=5, vehicles=4, partitions=2, duration_s=5.0,
+                       barrier_deadline_s=60.0)
+
+
+@pytest.fixture(scope="module")
+def reference(config):
+    return run_single_process(config)
+
+
+class TestEquality:
+    def test_partitioned_run_matches_single_process(self, config, reference):
+        with FleetCoordinator(config) as coordinator:
+            result = coordinator.run()
+        assert result.vehicle_hashes == reference.vehicle_hashes
+        assert result.metrics == reference.metrics
+        assert result.stats.events_fired == reference.stats.events_fired
+        assert result.stats.respawns == 0
+
+    def test_four_partitions_match_too(self, config, reference):
+        with FleetCoordinator(replace(config, partitions=4)) as coordinator:
+            result = coordinator.run()
+        assert result.vehicle_hashes == reference.vehicle_hashes
+        assert result.metrics == reference.metrics
+
+    def test_report_renders(self, config, reference):
+        text = reference.report().to_text()
+        assert "cav-000" in text
+        assert "rounds: 5" in text
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("phase", [KillPhase.ON_ADVANCE,
+                                       KillPhase.BEFORE_ACK])
+    def test_killed_worker_recovers_to_identical_hashes(
+        self, config, reference, phase
+    ):
+        killed = replace(config, kill_plan=KillPlan.single(1, 2, phase))
+        with FleetCoordinator(killed) as coordinator:
+            result = coordinator.run()
+        assert result.stats.respawns == 1
+        assert result.vehicle_hashes == reference.vehicle_hashes
+        assert result.metrics == reference.metrics
+
+    def test_kill_at_first_barrier_recovers(self, config, reference):
+        killed = replace(
+            config, kill_plan=KillPlan.single(0, 0, KillPhase.ON_ADVANCE)
+        )
+        with FleetCoordinator(killed) as coordinator:
+            result = coordinator.run()
+        assert result.stats.respawns == 1
+        assert result.stats.rounds_replayed == 0  # nothing committed yet
+        assert result.vehicle_hashes == reference.vehicle_hashes
+
+    def test_two_kills_same_partition_within_budget(self, config, reference):
+        killed = replace(config, kill_plan=KillPlan(kills=(
+            *KillPlan.single(0, 1, KillPhase.BEFORE_ACK).kills,
+            *KillPlan.single(1, 3, KillPhase.ON_ADVANCE).kills,
+        )))
+        with FleetCoordinator(killed) as coordinator:
+            result = coordinator.run()
+        assert result.stats.respawns == 2
+        assert result.vehicle_hashes == reference.vehicle_hashes
+
+
+class TestStragglers:
+    def test_straggler_rescued_by_backoff_retry(self, config, reference):
+        slow = replace(config, barrier_deadline_s=0.6,
+                       straggle_s=(((1, 1), 1.0),))
+        with FleetCoordinator(slow) as coordinator:
+            result = coordinator.run()
+        assert result.stats.stragglers >= 1
+        assert result.stats.respawns == 0
+        assert result.vehicle_hashes == reference.vehicle_hashes
+
+    def test_hopeless_straggler_fails_over(self, config, reference):
+        stuck = replace(config, barrier_deadline_s=0.4,
+                        straggle_s=(((1, 1), 30.0),))
+        policy = RecoveryPolicy(straggler_retries=1, straggler_backoff=1.5)
+        with FleetCoordinator(stuck, policy=policy) as coordinator:
+            result = coordinator.run()
+        assert result.stats.respawns == 1
+        assert result.vehicle_hashes == reference.vehicle_hashes
+
+
+class TestLifecycle:
+    def test_exit_terminates_all_workers(self, config):
+        coordinator = FleetCoordinator(config)
+        with coordinator:
+            coordinator._spawn_all()
+            handles = list(coordinator.workers.values())
+            assert all(h.alive for h in handles)
+        assert coordinator.workers == {}
+        assert all(not h.alive for h in handles)
+
+    def test_shutdown_mid_run_leaves_no_orphans(self, config):
+        coordinator = FleetCoordinator(config)
+        coordinator._spawn_all()
+        handles = list(coordinator.workers.values())
+        coordinator.shutdown()
+        for handle in handles:
+            assert not handle.process.is_alive()
+        coordinator.shutdown()  # idempotent
+
+    def test_coordinator_runs_exactly_once(self, config):
+        with FleetCoordinator(config) as coordinator:
+            coordinator.run()
+            with pytest.raises(RuntimeError, match="exactly once"):
+                coordinator.run()
+
+    def test_respawn_budget_enforced(self, config):
+        # Partition 1 stalls forever on every early round; with a zero
+        # respawn budget the first failover must abort the fleet.
+        stuck = replace(config, barrier_deadline_s=0.3,
+                        straggle_s=(((1, 0), 30.0),))
+        policy = RecoveryPolicy(max_respawns=0, straggler_retries=0)
+        with FleetCoordinator(stuck, policy=policy) as coordinator:
+            with pytest.raises(FleetError, match="respawn budget"):
+                coordinator.run()
