@@ -21,6 +21,12 @@ property checked on every commit instead of a convention in DESIGN.md:
   incremental analysis cache (:mod:`.cache`, ``.vdaplint-cache/``) so
   warm runs re-analyze only changed files and their dependents with
   byte-identical output;
+* a **performance** tier (:mod:`.perf`, :mod:`.mp`): sim-hot path
+  classification over the call graph, PERF001-005 rules (per-event
+  allocation, hoistable invariants, quadratic patterns, vectorization
+  candidates, hot-path formatting), MP001-003 multiprocess-safety rules
+  for the fleet layer, and profile-guided ranking (``--perf
+  --profile run.pstats``) that orders findings by expected payoff;
 * a **runtime** cross-check (:mod:`.sanitizer`): an opt-in
   ``DeterminismSanitizer`` that hashes the live event trace so two
   same-seed runs can be diffed to the first diverging event;
@@ -29,6 +35,7 @@ property checked on every commit instead of a convention in DESIGN.md:
     python -m repro.analysis src/repro --strict
     python -m repro.analysis --whole-program --jobs 4 src/repro tests --strict
     python -m repro.analysis --cache src/repro tests --strict
+    python -m repro.analysis --perf --profile run.pstats src/repro
     vdaplint --list-rules
 """
 
@@ -38,6 +45,7 @@ from .cache import (
     SEMANTIC_RULE_CLASSES,
     CachedRun,
     IncrementalAnalyzer,
+    catalogue_fingerprint,
     semantic_rules,
     semantic_rules_by_id,
 )
@@ -59,6 +67,18 @@ from .engine import (
     discover_files,
     lint_paths,
     lint_source,
+)
+from .mp import MP_RULE_CLASSES, MpAnalyzer, mp_rules, mp_rules_by_id
+from .perf import (
+    HOT_ROOT_SUFFIXES,
+    PERF_RULE_CLASSES,
+    HotPathIndex,
+    PerfAnalyzer,
+    ProfileData,
+    load_profile,
+    perf_rules,
+    perf_rules_by_id,
+    rank_findings,
 )
 from .protocol import PROTOCOL_RULE_CLASSES, ProtocolChecker
 from .reporter import render_json, render_text
@@ -85,10 +105,17 @@ __all__ = [
     "FLOW_RULE_CLASSES",
     "FileContext",
     "Finding",
+    "HOT_ROOT_SUFFIXES",
+    "HotPathIndex",
     "IncrementalAnalyzer",
     "LintEngine",
+    "MP_RULE_CLASSES",
     "ModuleSummary",
+    "MpAnalyzer",
+    "PERF_RULE_CLASSES",
     "PROTOCOL_RULE_CLASSES",
+    "PerfAnalyzer",
+    "ProfileData",
     "Pragmas",
     "ProjectGraph",
     "ProtocolChecker",
@@ -104,6 +131,7 @@ __all__ = [
     "UnitChecker",
     "WholeProgramAnalyzer",
     "build_graph",
+    "catalogue_fingerprint",
     "default_rules",
     "discover_files",
     "fingerprint_findings",
@@ -112,9 +140,15 @@ __all__ = [
     "infer_module_name",
     "lint_paths",
     "lint_source",
+    "load_profile",
     "main",
+    "mp_rules",
+    "mp_rules_by_id",
     "parse_name_unit",
     "parse_unit_expr",
+    "perf_rules",
+    "perf_rules_by_id",
+    "rank_findings",
     "render_json",
     "render_text",
     "rules_by_id",

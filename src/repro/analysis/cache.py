@@ -62,6 +62,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "CachedRun",
     "IncrementalAnalyzer",
+    "catalogue_fingerprint",
 ]
 
 SEMANTIC_RULE_CLASSES = UNIT_RULE_CLASSES + PROTOCOL_RULE_CLASSES
@@ -85,6 +86,26 @@ def semantic_rules_by_id() -> dict[str, Rule]:
 
 def _blake(data: bytes) -> str:
     return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def catalogue_fingerprint() -> str:
+    """``id@version`` digest over *every* shipped rule pack.
+
+    The env key embeds this so that adding, removing, or re-versioning a
+    rule in any catalogue -- including the PERF/MP packs, which do not
+    run through the incremental analyzer -- still invalidates the cache.
+    A stale cache must never replay findings from an old catalogue.
+    """
+    from .dataflow import flow_rules
+    from .mp import mp_rules
+    from .perf import perf_rules
+    from .rules import default_rules
+
+    parts: list[str] = []
+    for pack in (default_rules(), flow_rules(), semantic_rules(),
+                 perf_rules(), mp_rules()):
+        parts.extend(sorted(f"{rule.id}@{rule.version}" for rule in pack))
+    return _blake("|".join(parts).encode("utf-8"))
 
 
 def _finding_to_dict(finding: Finding) -> dict:
@@ -170,8 +191,16 @@ class IncrementalAnalyzer:
     def _env_key(self) -> str:
         parts = [
             f"cache-v{CACHE_VERSION}",
-            "file:" + ",".join(sorted(r.id for r in self.file_rules)),
-            "semantic:" + ",".join(sorted(self.semantic_rule_map)),
+            "file:" + ",".join(
+                sorted(f"{r.id}@{r.version}" for r in self.file_rules)
+            ),
+            "semantic:" + ",".join(
+                sorted(
+                    f"{rid}@{rule.version}"
+                    for rid, rule in self.semantic_rule_map.items()
+                )
+            ),
+            "packs:" + catalogue_fingerprint(),
         ]
         return _blake("|".join(parts).encode("utf-8"))
 

@@ -31,6 +31,15 @@ from .cache import (
 from .callgraph import build_graph
 from .dataflow import TaintAnalysis, WholeProgramAnalyzer, flow_rules, flow_rules_by_id
 from .engine import Finding, LintEngine, Rule, discover_files
+from .mp import MpAnalyzer, mp_rules, mp_rules_by_id
+from .perf import (
+    HotPathIndex,
+    PerfAnalyzer,
+    load_profile,
+    perf_rules,
+    perf_rules_by_id,
+    rank_findings,
+)
 from .reporter import render_json, render_text
 from .rules import default_rules, rules_by_id
 
@@ -110,6 +119,28 @@ def build_parser() -> argparse.ArgumentParser:
              "(requires --whole-program)",
     )
     parser.add_argument(
+        "--perf", action="store_true",
+        help=(
+            "also run the performance packs over the project call graph: "
+            "PERF001-005 on sim-hot functions and MP001-003 multiprocess-"
+            "safety checks for the fleet layer, with a ranked worklist"
+        ),
+    )
+    parser.add_argument(
+        "--profile", metavar="PATH",
+        help=(
+            "rank --perf findings by measured time: a cProfile pstats dump "
+            "joins each finding to its function's cumulative seconds; a "
+            "BENCH_fleet.json supplies throughput context (ranking then "
+            "falls back to call-graph depth-from-kernel)"
+        ),
+    )
+    parser.add_argument(
+        "--dump-hotpaths", action="store_true",
+        help="embed the sim-hot function set (with BFS depth from the "
+             "kernel) in the report (requires --perf)",
+    )
+    parser.add_argument(
         "--cache", action="store_true",
         help=(
             "enable the incremental analysis cache: warm runs re-analyze "
@@ -131,12 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _pick_rules(
     select: Optional[str], ignore: Optional[str],
     parser: argparse.ArgumentParser,
-) -> tuple[list[Rule], list[Rule], dict[str, Rule]]:
-    """Split the selection into (per-file, whole-program, semantic) rules."""
+) -> tuple[list[Rule], list[Rule], dict[str, Rule], list[Rule]]:
+    """Split the selection into (per-file, whole-program, semantic, perf)."""
     file_catalogue = rules_by_id()
     flow_catalogue = flow_rules_by_id()
     semantic_catalogue = semantic_rules_by_id()
-    catalogue = {**file_catalogue, **flow_catalogue, **semantic_catalogue}
+    perf_catalogue = {**perf_rules_by_id(), **mp_rules_by_id()}
+    catalogue = {
+        **file_catalogue, **flow_catalogue, **semantic_catalogue,
+        **perf_catalogue,
+    }
 
     def parse_ids(raw: str) -> list[str]:
         ids = [part.strip() for part in raw.split(",") if part.strip()]
@@ -148,14 +183,16 @@ def _pick_rules(
     if select:
         chosen = [catalogue[rule_id] for rule_id in parse_ids(select)]
     else:
-        chosen = default_rules() + flow_rules() + semantic_rules()
+        chosen = (default_rules() + flow_rules() + semantic_rules()
+                  + perf_rules() + mp_rules())
     if ignore:
         skipped = set(parse_ids(ignore))
         chosen = [rule for rule in chosen if rule.id not in skipped]
     file_rules = [r for r in chosen if r.id in file_catalogue]
     wp_rules = [r for r in chosen if r.id in flow_catalogue]
     semantic_map = {r.id: r for r in chosen if r.id in semantic_catalogue}
-    return file_rules, wp_rules, semantic_map
+    perf_pack = [r for r in chosen if r.id in perf_catalogue]
+    return file_rules, wp_rules, semantic_map, perf_pack
 
 
 def _init_worker(rule_ids: Sequence[str]) -> None:
@@ -200,17 +237,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.id}  {rule.name} [whole-program]: {rule.description}")
         for rule in semantic_rules():
             print(f"{rule.id}  {rule.name} [semantic]: {rule.description}")
+        for rule in perf_rules():
+            print(f"{rule.id}  {rule.name} [perf]: {rule.description}")
+        for rule in mp_rules():
+            print(f"{rule.id}  {rule.name} [mp]: {rule.description}")
         return 0
 
     if (args.dump_callgraph or args.dump_taint) and not args.whole_program:
         parser.error("--dump-callgraph/--dump-taint require --whole-program")
+    if args.profile and not args.perf:
+        parser.error("--profile requires --perf")
+    if args.dump_hotpaths and not args.perf:
+        parser.error("--dump-hotpaths requires --perf")
 
-    file_rules, wp_rules, semantic_map = _pick_rules(args.select, args.ignore, parser)
+    file_rules, wp_rules, semantic_map, perf_pack = _pick_rules(
+        args.select, args.ignore, parser
+    )
     if args.select and wp_rules and not args.whole_program:
         parser.error(
             "whole-program rules selected "
             f"({', '.join(sorted(r.id for r in wp_rules))}) "
             "but --whole-program not given"
+        )
+    if args.select and perf_pack and not args.perf:
+        parser.error(
+            "performance rules selected "
+            f"({', '.join(sorted(r.id for r in perf_pack))}) "
+            "but --perf not given"
         )
 
     try:
@@ -240,8 +293,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
 
     debug: dict = {}
-    if args.whole_program:
+    graph = None
+    if args.whole_program or args.perf:
         graph = build_graph(args.paths)
+    if args.whole_program:
         analyzer = WholeProgramAnalyzer(wp_rules)
         findings = sorted(findings + analyzer.analyze_graph(graph))
         if args.dump_callgraph:
@@ -249,6 +304,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.dump_taint:
             taint = analyzer.taint or TaintAnalysis(graph).run()
             debug["taint"] = taint.to_debug_dict()
+
+    hot = None
+    perf_owners: dict[tuple[str, int, str], str] = {}
+    profile = None
+    if args.perf:
+        hot = HotPathIndex(graph)
+        perf_analyzer = PerfAnalyzer(
+            [r for r in perf_pack if r.id.startswith("PERF")]
+        )
+        mp_analyzer = MpAnalyzer(
+            [r for r in perf_pack if r.id.startswith("MP")]
+        )
+        perf_findings = perf_analyzer.analyze_graph(graph, hot=hot)
+        mp_findings = mp_analyzer.analyze_graph(graph)
+        perf_owners = {**perf_analyzer.owners, **mp_analyzer.owners}
+        findings = sorted(findings + perf_findings + mp_findings)
+        if args.profile:
+            try:
+                profile = load_profile(args.profile)
+            except ValueError as err:
+                parser.error(str(err))
+        if args.dump_hotpaths:
+            debug["hotpaths"] = hot.to_debug_dict()
 
     if args.write_baseline:
         previous = Baseline()
@@ -291,9 +369,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         findings, grandfathered = baseline.partition(findings)
         baselined_count = len(grandfathered)
 
+    ranking = None
+    if args.perf:
+        perf_ids = set(perf_rules_by_id()) | set(mp_rules_by_id())
+        ranking = rank_findings(
+            [f for f in findings if f.rule in perf_ids],
+            perf_owners, hot, profile,
+        )
+
     render = render_json if args.format == "json" else render_text
     print(render(findings, files_scanned=len(files), baselined=baselined_count,
-                 stale=stale_count, debug=debug or None))
+                 stale=stale_count, debug=debug or None, ranking=ranking))
     return 1 if findings else 0
 
 

@@ -109,6 +109,9 @@ class Rule:
     id: str = ""
     name: str = ""
     description: str = ""
+    #: Bump when a rule's semantics change without its id changing; the
+    #: incremental cache keys on ``id@version`` so edited rules re-run.
+    version: int = 1
 
     def handlers(self) -> dict[type, Callable]:
         """Map AST node types to this rule's bound visitor methods."""

@@ -16,9 +16,10 @@ RNG discipline is watched the same way: :meth:`watch_rng` wraps a
 per-(stream, method) counter -- same seed, same code path => identical
 draw counts, and a drifted counter names the stream that diverged.
 
-The sanitizer is opt-in and zero-cost when absent: it monkey-wraps the
-one simulator instance handed to it and restores it on :meth:`detach`
-(or context-manager exit).
+The sanitizer is opt-in and zero-cost when absent: it installs a single
+kernel trace tap (:meth:`~repro.sim.core.Simulator.add_trace_tap`) on the
+simulator handed to it and removes it on :meth:`detach` (or
+context-manager exit) -- no per-event wrapper objects are allocated.
 """
 
 from __future__ import annotations
@@ -101,38 +102,22 @@ class DeterminismSanitizer:
         self.event_count = 0
         self.rng_counts: dict[tuple[str, str], int] = {}
         self._hash = hashlib.blake2b(digest_size=16)
-        self._original_schedule = sim._schedule_event
         self._watched: list[tuple[Any, Any]] = []
-        sim._schedule_event = self._schedule_wrapper
+        sim.add_trace_tap(self._record)
         self._attached = True
 
     # -- event recording ---------------------------------------------------
 
-    def _schedule_wrapper(self, event: Any, delay: float = 0.0,
-                          priority: int = 0) -> None:
-        original_resolve = event._resolve
-
-        def recording_resolve() -> None:
-            self._record(event)
-            original_resolve()
-
-        event._resolve = recording_resolve
-        self._original_schedule(event, delay=delay, priority=priority)
-
-    def _record(self, event: Any) -> None:
+    def _record(self, event: Any, when: float) -> None:
+        seq = self.event_count
+        self.event_count = seq + 1
         name = getattr(event, "name", "") or ""
-        record = TraceRecord(
-            seq=self.event_count,
-            time=self.sim.now,
-            kind=type(event).__name__,
-            name=name,
-        )
-        self.event_count += 1
-        self._hash.update(
-            f"{record.seq}|{record.time!r}|{record.kind}|{record.name}\n".encode()
-        )
+        kind = type(event).__name__
+        # The f-string *is* the hashed trace line -- it cannot be hoisted.
+        line = f"{seq}|{when!r}|{kind}|{name}\n"  # vdaplint: disable=PERF005
+        self._hash.update(line.encode())
         if self.keep_records:
-            self.records.append(record)
+            self.records.append(TraceRecord(seq=seq, time=when, kind=kind, name=name))
 
     # -- rng watching ------------------------------------------------------
 
@@ -197,7 +182,7 @@ class DeterminismSanitizer:
     def detach(self) -> None:
         """Restore the simulator (and any watched registries)."""
         if self._attached:
-            self.sim._schedule_event = self._original_schedule
+            self.sim.remove_trace_tap(self._record)
             self._attached = False
         while self._watched:
             registry, original_stream = self._watched.pop()

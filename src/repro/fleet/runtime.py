@@ -69,21 +69,25 @@ class VehicleTraceHash:
         self._hash.update(record.encode())
         self._hash.update(b"\n")
 
+    # The f-strings below *are* the hashed trace lines: the formatted text
+    # is the externally visible behaviour being digested, so it cannot be
+    # guarded or precomputed away.
+
     def record_send(self, env: Envelope) -> None:
         self._fold(
-            f"send|{fmt_float(env.sent_s)}|{env.dst}|{env.seq}|{env.payload!r}"
+            f"send|{fmt_float(env.sent_s)}|{env.dst}|{env.seq}|{env.payload!r}"  # vdaplint: disable=PERF005
         )
 
     def record_receive(self, env: Envelope) -> None:
         self._fold(
-            f"rx|{fmt_float(env.deliver_s)}|{env.src}|{env.seq}|{env.payload!r}"
+            f"rx|{fmt_float(env.deliver_s)}|{env.src}|{env.seq}|{env.payload!r}"  # vdaplint: disable=PERF005
         )
 
     def record_state(
         self, barrier_s: float, invocations: int, misses: int, energy_j: float
     ) -> None:
         self._fold(
-            f"state|{fmt_float(barrier_s)}|{invocations}|{misses}|"
+            f"state|{fmt_float(barrier_s)}|{invocations}|{misses}|"  # vdaplint: disable=PERF005
             f"{fmt_float(energy_j)}"
         )
 
@@ -153,7 +157,8 @@ class V2VBus:
                     f"(conservative sync violated)"
                 )
             self.sim.process(
-                self._deliver_one(env), name=f"v2v/rx-{env.dst:03d}"
+                # Per-envelope process identity is load-bearing for traces.
+                self._deliver_one(env), name=f"v2v/rx-{env.dst:03d}"  # vdaplint: disable=PERF005
             )
             count += 1
         return count
@@ -260,9 +265,10 @@ class PartitionRuntime:
         neighbors = config.neighbors(vehicle)
         while True:
             yield self.sim.timeout(config.beacon_period_s)
-            if self.sim.now >= config.duration_s:
+            now = self.sim.now
+            if now >= config.duration_s:
                 return
-            position = round(scenario.world.vehicle.position(self.sim.now), 3)
+            position = round(scenario.world.vehicle.position(now), 3)
             payload = ("beacon", position, self._vehicle_invocations(vehicle))
             for dst in neighbors:
                 self.bus.send(vehicle, dst, payload)

@@ -148,13 +148,14 @@ class P2Quantile:
             cell = 0
             while cell < 3 and x >= h[cell + 1]:
                 cell += 1
+        desired, increments = self._desired, self._increments
         for i in range(cell + 1, 5):
             pos[i] += 1.0
         for i in range(5):
-            self._desired[i] += self._increments[i]
+            desired[i] += increments[i]
         # Nudge the three interior markers toward their desired positions.
         for i in (1, 2, 3):
-            delta = self._desired[i] - pos[i]
+            delta = desired[i] - pos[i]
             if (delta >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
                 delta <= -1.0 and pos[i - 1] - pos[i] < -1.0
             ):
@@ -217,15 +218,18 @@ class Histogram:
         if not self.bucket_counts:
             self.bucket_counts = [0] * (len(self.bounds) + 1)
         self._quantiles = {q: P2Quantile(q) for q in TRACKED_QUANTILES}
+        self._estimators = tuple(self._quantiles.values())
 
     def observe(self, value: float) -> None:
         value = float(value)
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
-        for estimator in self._quantiles.values():
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for estimator in self._estimators:
             estimator.add(value)
 
     @property
@@ -288,6 +292,13 @@ class MetricRegistry:
 
     @staticmethod
     def _labels_key(labels: dict) -> tuple[tuple[str, str], ...]:
+        # Per-event hot path: most series carry zero or one label, where
+        # sorting is a no-op -- skip the generator + sorted() machinery.
+        if not labels:
+            return ()
+        if len(labels) == 1:
+            ((k, v),) = labels.items()
+            return ((str(k), str(v)),)
         return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
     def _get_or_create(self, kind, name: str, labels: dict, **kwargs):

@@ -140,22 +140,23 @@ class DistributedExecutor:
             obs.count("offload.transfers", link=f"{min(src, dst)}-{max(src, dst)}")
             obs.count("offload.transfer_bytes", n=nbytes)
             obs.observe("offload.link_queue_depth", slot.queue_length)
+        sim, faults = self.sim, self.faults
         attempt = 0
         while True:
-            if self.faults is not None and self.faults.is_down(key):
+            if faults is not None and faults.is_down(key):
                 if self.retry is None:
                     raise TaskFailure(f"link {src}<->{dst} is down")
-                yield self.faults.wait_up(key)
+                yield faults.wait_up(key)
             grant = slot.request()
             try:
                 yield grant
                 duration = link.transfer_time(nbytes)
-                if self.faults is None:
-                    yield self.sim.timeout(duration)
+                if faults is None:
+                    yield sim.timeout(duration)
                     result.transfer_seconds += duration
                     return
-                winner, _ = yield self.sim.race(
-                    self.sim.timeout(duration), self.faults.watch_down(key)
+                winner, _ = yield sim.race(
+                    sim.timeout(duration), faults.watch_down(key)
                 )
                 if winner == 0:
                     result.transfer_seconds += duration
@@ -170,7 +171,7 @@ class DistributedExecutor:
                     f"link {src}<->{dst} failed {attempt + 1} transfers"
                 )
             result.retries += 1
-            yield self.sim.timeout(self.retry.delay_s(attempt))
+            yield sim.timeout(self.retry.delay_s(attempt))
             attempt += 1
 
     # -- task execution ----------------------------------------------------------
@@ -261,18 +262,22 @@ class DistributedExecutor:
     def _run_task(self, graph, name, placement, done, result, priority, actual_tiers):
         task = graph.task(name)
         tier = placement.tier_of(name)
+        sim, retry = self.sim, self.retry
+        # Built once per task, not once per retry attempt; the per-task
+        # process name is load-bearing for traces and divergence reports.
+        attempt_name = f"attempt:{graph.name}/{name}"  # vdaplint: disable=PERF005
         attempt = 0
         while True:
-            attempt_proc = self.sim.process(
+            attempt_proc = sim.process(
                 self._attempt(
                     graph, name, task, tier, done, result, priority, actual_tiers
                 ),
-                name=f"attempt:{graph.name}/{name}",
+                name=attempt_name,
             )
             try:
-                if self.retry is not None and self.retry.attempt_timeout_s is not None:
-                    winner, _ = yield self.sim.race(
-                        attempt_proc, self.sim.timeout(self.retry.attempt_timeout_s)
+                if retry is not None and retry.attempt_timeout_s is not None:
+                    winner, _ = yield sim.race(
+                        attempt_proc, sim.timeout(retry.attempt_timeout_s)
                     )
                     if winner == 1:
                         attempt_proc.try_interrupt("attempt timeout")
@@ -281,15 +286,15 @@ class DistributedExecutor:
                     yield attempt_proc
                 break  # success
             except _AttemptFailed as fail:
-                if self.retry is None or attempt >= self.retry.max_attempts - 1:
+                if retry is None or attempt >= retry.max_attempts - 1:
                     done[name].fail(TaskFailure(str(fail)))
                     return
                 # Commutative counter bump: atomic within one event, same
                 # total whatever order task processes fire in.
                 result.retries += 1  # vdaplint: disable=RACE001
-                yield self.sim.timeout(self.retry.delay_s(attempt))
+                yield sim.timeout(retry.delay_s(attempt))
                 attempt += 1
-                if attempt >= self.retry.same_tier_attempts:
+                if attempt >= retry.same_tier_attempts:
                     new_tier = self._failover_tier(tier, task.workload)
                     if new_tier != tier:
                         tier = new_tier

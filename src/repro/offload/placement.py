@@ -84,7 +84,8 @@ def evaluate_placement(
                 uplink_bytes=0.0,
                 vehicle_energy_j=0.0,
                 feasible=False,
-                infeasible_reason=f"{tier} has no processor for {task.workload.value}",
+                # Infeasible arm: the diagnostic only forms when placement fails.
+                infeasible_reason=f"{tier} has no processor for {task.workload.value}",  # vdaplint: disable=PERF005
             )
 
         ready = 0.0

@@ -45,28 +45,47 @@ class TaskGraph:
     def __init__(self, name: str):
         self.name = name
         self._graph = nx.DiGraph()
+        self._topo: list[str] | None = None
 
     def add_task(self, task: Task) -> Task:
         if task.name in self._graph:
             raise ValueError(f"duplicate task {task.name!r}")
         self._graph.add_node(task.name, task=task)
+        self._topo = None
         return task
 
     def add_edge(self, producer: str, consumer: str) -> None:
         for name in (producer, consumer):
             if name not in self._graph:
                 raise KeyError(f"unknown task {name!r}")
-        self._graph.add_edge(producer, consumer)
-        if not nx.is_directed_acyclic_graph(self._graph):
-            self._graph.remove_edge(producer, consumer)
+        # The graph is acyclic before the edge, so producer->consumer closes
+        # a cycle iff consumer already reaches producer.
+        if producer == consumer or self._reaches(consumer, producer):
             raise ValueError(f"edge {producer}->{consumer} creates a cycle")
+        self._graph.add_edge(producer, consumer)
+        self._topo = None
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        stack = [start]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._graph.successors(node))
+        return False
 
     def task(self, name: str) -> Task:
         return self._graph.nodes[name]["task"]
 
     @property
     def task_names(self) -> list[str]:
-        return list(nx.topological_sort(self._graph))
+        if self._topo is None:
+            self._topo = list(nx.topological_sort(self._graph))
+        return list(self._topo)
 
     @property
     def tasks(self) -> list[Task]:

@@ -1,0 +1,46 @@
+"""MP001: unpicklable spawn payloads vs a plain-data spec."""
+
+import multiprocessing as mp
+from typing import Callable
+
+
+class JobSpec:
+    partition: int
+    callback: Callable  # expect-mp: MP001
+
+
+class HandleSpec:
+    def __init__(self, path):
+        self.path = path
+        self.sink = open(path, "w")  # expect-mp: MP001
+
+
+def worker_main(conn, spec):
+    conn.close()
+
+
+def launch(spec: JobSpec):
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe()
+    process = ctx.Process(target=worker_main, args=(child, spec))
+    return parent, process
+
+
+def launch_handle(spec: HandleSpec, conn):
+    ctx = mp.get_context("spawn")
+    return ctx.Process(target=worker_main, args=(conn, spec))
+
+
+def launch_lambda(conn):
+    ctx = mp.get_context("spawn")
+    return ctx.Process(target=worker_main, args=(conn, lambda x: x + 1))  # expect-mp: MP001
+
+
+class CleanSpec:
+    partition: int
+    seed: int
+
+
+def launch_clean(spec: CleanSpec, conn):
+    ctx = mp.get_context("spawn")
+    return ctx.Process(target=worker_main, args=(conn, spec))

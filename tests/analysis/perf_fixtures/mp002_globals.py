@@ -1,0 +1,34 @@
+"""MP002: fork-crossing module-global writes by workers vs pipe results."""
+
+import multiprocessing as mp
+
+RESULTS = {}
+TOTAL = 0
+
+
+def worker_main(partition):
+    RESULTS[partition] = partition * 2  # expect-mp: MP002
+
+
+def worker_tally(values):
+    global TOTAL
+    for value in values:
+        TOTAL = TOTAL + value  # expect-mp: MP002
+
+
+def worker_clean(conn, partition):
+    # Idiomatic fix: results travel back over the pipe, not through
+    # module state.
+    conn.send(partition * 2)
+
+
+def launch():
+    procs = [
+        mp.Process(target=worker_main, args=(0,)),
+        mp.Process(target=worker_tally, args=([1, 2],)),
+    ]
+    return procs
+
+
+def launch_clean(conn):
+    return mp.Process(target=worker_clean, args=(conn, 3))

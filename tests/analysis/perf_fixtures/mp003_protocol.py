@@ -1,0 +1,45 @@
+"""MP003: pipe-protocol exhaustiveness -- an unhandled and a dead message."""
+
+
+class Ping:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class Pong:  # expect-mp: MP003
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class Stop:  # expect-mp: MP003
+    pass
+
+
+class ProtocolError(Exception):
+    """Exception types are not protocol messages."""
+
+
+class Endpoint:
+    def __init__(self, conn):
+        self.conn = conn
+
+    def send(self, message):
+        self.conn.send(message)
+
+    def recv(self):
+        return self.conn.recv()
+
+
+def serve(endpoint: Endpoint):
+    while True:
+        message = endpoint.recv()
+        if isinstance(message, Ping):
+            # Pong is sent but no peer ever isinstance-handles it.
+            endpoint.send(Pong(message.seq))
+        elif isinstance(message, Stop):
+            # Stop is handled but never constructed anywhere: dead arm.
+            return
+
+
+def client(endpoint: Endpoint, seq):
+    endpoint.send(Ping(seq))

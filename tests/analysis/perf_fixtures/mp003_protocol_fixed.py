@@ -1,0 +1,38 @@
+"""MP003 idiomatic fix: every sent message handled, every handled one built."""
+
+
+class Ping:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class Pong:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class Endpoint:
+    def __init__(self, conn):
+        self.conn = conn
+
+    def send(self, message):
+        self.conn.send(message)
+
+    def recv(self):
+        return self.conn.recv()
+
+
+def serve(endpoint: Endpoint):
+    while True:
+        message = endpoint.recv()
+        if isinstance(message, Ping):
+            endpoint.send(Pong(message.seq))
+            return
+
+
+def client(endpoint: Endpoint, seq):
+    endpoint.send(Ping(seq))
+    reply = endpoint.recv()
+    if isinstance(reply, Pong):
+        return reply.seq
+    return None

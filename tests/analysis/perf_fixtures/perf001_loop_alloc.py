@@ -1,0 +1,43 @@
+"""PERF001: allocation inside a per-event loop vs hoisted/fused variant.
+
+``Simulator.run``/``Simulator.step`` match the sim-hot root suffixes, so
+both the seeded-bug class and the ``FixedSimulator`` idiomatic-fix class
+are classified hot; only the bug lines may fire.
+"""
+
+
+class Helper:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+class Simulator:
+    def run(self, events):
+        total = 0
+        for event in events:
+            box = {"seq": event, "cost": event * 2}  # expect-perf: PERF001
+            total += box["cost"]
+        return total
+
+    def step(self, events):
+        handles = []
+        for event in events:
+            handles.append(Helper(event))  # expect-perf: PERF001
+        return handles
+
+
+class FixedSimulator:
+    def run(self, events):
+        # Idiomatic fix: fold the work into the loop without per-event
+        # container churn.
+        total = 0
+        for event in events:
+            total += event + event
+        return total
+
+    def step(self, events, pool):
+        # Idiomatic fix: reuse pooled helpers instead of constructing one
+        # per event.
+        for event in events:
+            pool.recycle(event)
+        return pool

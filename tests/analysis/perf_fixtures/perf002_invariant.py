@@ -1,0 +1,31 @@
+"""PERF002: loop-invariant attribute chains and len() vs hoisted variant."""
+
+
+class Simulator:
+    def run(self, frames, samples):
+        total = 0.0
+        for frame in frames:
+            rate = self.config.link.rate_mbps  # expect-perf: PERF002
+            ceiling = self.config.link.rate_mbps * 2
+            total += frame * rate + ceiling
+        mid = 0
+        for frame in frames:
+            mid += len(samples) // 2  # expect-perf: PERF002
+            mid -= len(samples) % 3
+        return total + mid
+
+
+class FixedSimulator:
+    def run(self, frames, samples):
+        # Idiomatic fix: load invariants once, outside the loop.
+        rate = self.config.link.rate_mbps
+        ceiling = rate * 2
+        count = len(samples)
+        total = 0.0
+        for frame in frames:
+            total += frame * rate + ceiling
+        mid = 0
+        for frame in frames:
+            mid += count // 2
+            mid -= count % 3
+        return total + mid

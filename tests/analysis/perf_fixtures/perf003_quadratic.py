@@ -1,0 +1,31 @@
+"""PERF003: quadratic patterns in hot loops vs linear equivalents."""
+
+from collections import deque
+
+
+class Simulator:
+    def run(self, events):
+        log = ""
+        recent = []
+        banned = [3, 5, 7]
+        for event in events:
+            recent.insert(0, event)  # expect-perf: PERF003
+            if event in banned:  # expect-perf: PERF003
+                continue
+            log += "x"  # expect-perf: PERF003
+        return log, recent
+
+
+class FixedSimulator:
+    def run(self, events):
+        # Idiomatic fix: deque for front-insertion, set membership,
+        # join-once string building.
+        parts = []
+        recent = deque()
+        banned = {3, 5, 7}
+        for event in events:
+            recent.appendleft(event)
+            if event in banned:
+                continue
+            parts.append("x")
+        return "".join(parts), recent

@@ -1,0 +1,22 @@
+"""PERF004: per-item numeric python loop vs batched array-style variant."""
+
+import math
+import random
+
+
+class Simulator:
+    def run(self, samples):
+        rng = random.Random(7)
+        out = []
+        for sample in samples:  # expect-perf: PERF004
+            out.append(math.exp(sample) * rng.random())
+        return out
+
+
+class FixedSimulator:
+    def run(self, samples):
+        # Idiomatic fix: draw the whole batch up front and combine with a
+        # comprehension -- one array-shaped operation, no per-item loop.
+        rng = random.Random(7)
+        draws = [rng.random() for _ in samples]
+        return [math.exp(s) * d for s, d in zip(samples, draws)]

@@ -1,0 +1,54 @@
+"""PERF005: unconditional formatting/logging on a hot path vs quiet path."""
+
+import logging
+
+logger = logging.getLogger("fixture")
+
+
+class Simulator:
+    def run(self, events):
+        count = 0
+        for event in events:
+            logger.debug(f"event {event}")  # expect-perf: PERF005
+            count += 1
+        return count
+
+    def step(self, event):
+        label = "evt %d" % event  # expect-perf: PERF005
+        return label
+
+
+class FixedSimulator:
+    def __init__(self, obs):
+        self.obs = obs
+
+    def run(self, events):
+        # Idiomatic fix: the hot path only counts; formatting and logging
+        # happen once, off the per-event path.
+        count = 0
+        for event in events:
+            count += 1
+        return count
+
+    def step(self, event):
+        # Guard idiom: formatting behind an ``if <flag>.enabled:`` check
+        # is exactly the fix PERF005 recommends -- it must stay silent.
+        if self.obs.enabled:
+            self.obs.count("events", label=f"evt-{event}")
+        if event < 0:
+            # Diagnostic idiom: exception constructors format error-path
+            # text even when handed to a deferred failure channel rather
+            # than raised inline.
+            failure = ValueError(f"negative event {event}")
+            return failure
+        return event_key(event)
+
+    def summarize(self, count):
+        # Not sim-hot: called from reporting code after the run.
+        logger.info("processed %d events", count)
+
+
+def event_key(event):
+    """Pure formatter: the f-string *is* the product; precomputation
+    belongs at the call sites, so PERF005 stays silent here."""
+    return f"evt:{event}"

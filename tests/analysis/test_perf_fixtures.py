@@ -1,0 +1,100 @@
+"""Annotated perf/mp fixture corpus: every rule fires on its seeded bug
+and stays silent on the idiomatic fix in the same (sim-hot) file.
+
+Each fixture under ``perf_fixtures/`` carries ``# expect-perf: RULE`` /
+``# expect-mp: RULE`` annotations; the analyzers must produce *exactly*
+that finding set -- extra findings on the fixed variants are failures
+too.  The corpus directory holds a ``.vdaplint-skip`` marker so repo-wide
+lint sweeps do not trip over the deliberate violations.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.analysis import SKIP_MARKER, MpAnalyzer, PerfAnalyzer, build_graph
+from repro.analysis.mp import MP_RULE_CLASSES
+from repro.analysis.perf import PERF_RULE_CLASSES
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "perf_fixtures")
+
+EXPECT_RE = re.compile(
+    r"#\s*expect-(?:perf|mp):\s*([A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)"
+)
+
+
+def fixture_paths() -> list[str]:
+    return sorted(
+        os.path.join(FIXTURE_DIR, name)
+        for name in os.listdir(FIXTURE_DIR)
+        if name.endswith(".py")
+    )
+
+
+def expected_findings(source: str) -> set[tuple[int, str]]:
+    expected = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = EXPECT_RE.search(text)
+        if not match:
+            continue
+        for rule_id in match.group(1).split(","):
+            expected.add((lineno, rule_id.strip()))
+    return expected
+
+
+def analyze(path: str) -> set[tuple[int, str]]:
+    graph = build_graph([path])
+    findings = PerfAnalyzer().analyze_graph(graph)
+    findings += MpAnalyzer().analyze_graph(graph)
+    return {(f.line, f.rule) for f in findings}
+
+
+@pytest.mark.parametrize(
+    "path", fixture_paths(), ids=[os.path.basename(p) for p in fixture_paths()]
+)
+def test_fixture_matches_annotations(path):
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    expected = expected_findings(source)
+    actual = analyze(path)
+    missing = expected - actual
+    unexpected = actual - expected
+    assert not missing, f"{path}: annotated findings did not fire: {missing}"
+    assert not unexpected, f"{path}: unannotated findings fired: {unexpected}"
+
+
+def test_corpus_exercises_every_rule():
+    """Every shipped PERF/MP rule must fire somewhere in the corpus."""
+    shipped = {cls.id for cls in PERF_RULE_CLASSES + MP_RULE_CLASSES}
+    fired = set()
+    for path in fixture_paths():
+        fired.update(rule for _line, rule in analyze(path))
+    assert shipped <= fired, f"rules with no firing fixture: {shipped - fired}"
+
+
+def test_corpus_covers_at_least_eight_rule_ids():
+    """The acceptance floor: >=8 distinct rule ids across the packs."""
+    shipped = {cls.id for cls in PERF_RULE_CLASSES + MP_RULE_CLASSES}
+    assert len(shipped) >= 8
+
+
+def test_corpus_is_skip_marked():
+    """The fixture directory must opt out of directory-walk discovery."""
+    assert os.path.exists(os.path.join(FIXTURE_DIR, SKIP_MARKER))
+
+
+def test_pragma_suppresses_perf_finding(tmp_path):
+    """PERF/MP findings honor the standard vdaplint pragmas."""
+    bug = (
+        "class Simulator:\n"
+        "    def run(self, events):\n"
+        "        total = 0\n"
+        "        for event in events:\n"
+        "            box = {'seq': event}  # vdaplint: disable=PERF001\n"
+        "            total += box['seq']\n"
+        "        return total\n"
+    )
+    path = tmp_path / "hot.py"
+    path.write_text(bug, encoding="utf-8")
+    assert analyze(str(path)) == set()

@@ -1,0 +1,131 @@
+"""Profile-ingestion round-trip: pstats and bench profiles rank the same
+findings identically, and the ranked JSON report is byte-deterministic.
+"""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.perf import load_profile, write_synthetic_pstats
+
+HOT_SOURCE = '''\
+class Simulator:
+    def run(self, events):
+        for event in events:
+            helper(event)
+        print("done", len(events))
+
+
+def helper(event):
+    label = "evt %d" % event
+    return label
+'''
+
+
+@pytest.fixture()
+def hot_file(tmp_path):
+    path = tmp_path / "hot.py"
+    path.write_text(HOT_SOURCE, encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def pstats_file(tmp_path):
+    # helper (depth 1) measured cheaper than run (depth 0): the profile
+    # ordering agrees with the depth fallback, so both profile kinds must
+    # produce the identical ranked sequence.
+    path = tmp_path / "run.pstats"
+    write_synthetic_pstats(
+        str(path),
+        {
+            ("hot.py", 2, "run"): 3.0,
+            ("hot.py", 8, "helper"): 1.0,
+        },
+    )
+    return path
+
+
+@pytest.fixture()
+def bench_file(tmp_path):
+    path = tmp_path / "BENCH_fleet.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "fleet_throughput",
+                "columns": ["partitions", "events_per_s"],
+                "rows": [{"partitions": 1, "events_per_s": 15000.0}],
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+def run_cli(argv):
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        code = main(argv)
+    return code, buf.getvalue()
+
+
+def perf_args(hot_file, profile=None):
+    argv = ["--perf", "--strict", "--format", "json", str(hot_file)]
+    if profile is not None:
+        argv += ["--profile", str(profile)]
+    return argv
+
+
+def test_pstats_and_bench_rank_identically(hot_file, pstats_file, bench_file):
+    _, out_pstats = run_cli(perf_args(hot_file, pstats_file))
+    _, out_bench = run_cli(perf_args(hot_file, bench_file))
+    rank_pstats = json.loads(out_pstats)["perf_ranking"]
+    rank_bench = json.loads(out_bench)["perf_ranking"]
+    assert rank_pstats, "expected PERF findings in the synthetic hot module"
+    sequence = lambda ranking: [  # noqa: E731
+        (e["rank"], e["rule"], e["path"], e["line"]) for e in ranking
+    ]
+    assert sequence(rank_pstats) == sequence(rank_bench)
+    # The pstats run scores by measured cumulative seconds...
+    assert {e["source"] for e in rank_pstats} == {"profile"}
+    assert [e["score"] for e in rank_pstats] == [3.0, 1.0]
+    # ...while a bench profile has no per-function data: depth fallback.
+    assert {e["source"] for e in rank_bench} == {"depth"}
+
+
+def test_ranked_json_is_byte_identical_across_runs(hot_file, pstats_file):
+    code_a, out_a = run_cli(perf_args(hot_file, pstats_file))
+    code_b, out_b = run_cli(perf_args(hot_file, pstats_file))
+    assert (code_a, out_a.encode()) == (code_b, out_b.encode())
+
+
+def test_depth_fallback_without_profile(hot_file):
+    _, out = run_cli(perf_args(hot_file))
+    ranking = json.loads(out)["perf_ranking"]
+    assert ranking
+    assert {e["source"] for e in ranking} == {"depth"}
+    # run is a hot root (depth 0), helper its callee (depth 1).
+    assert [e["score"] for e in ranking] == [1.0, 0.5]
+
+
+def test_load_profile_kinds(pstats_file, bench_file, tmp_path):
+    assert load_profile(str(pstats_file)).kind == "pstats"
+    bench = load_profile(str(bench_file))
+    assert bench.kind == "bench"
+    assert bench.context["events_per_s"] == 15000.0
+    garbage = tmp_path / "garbage.bin"
+    garbage.write_bytes(b"\x00\x01not a profile")
+    with pytest.raises(ValueError):
+        load_profile(str(garbage))
+    not_bench = tmp_path / "plain.json"
+    not_bench.write_text('{"hello": 1}', encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_profile(str(not_bench))
+
+
+def test_profile_requires_perf(hot_file, pstats_file, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(hot_file), "--profile", str(pstats_file)])
+    assert excinfo.value.code == 2

@@ -70,23 +70,21 @@ def test_diff_requires_records_on_both_sides():
 
 def test_detach_restores_the_simulator():
     sim = Simulator()
-    original = sim._schedule_event
     sanitizer = DeterminismSanitizer(sim)
-    assert sim._schedule_event is not original
+    assert sim._taps == [sanitizer._record]
     sanitizer.detach()
-    assert sim._schedule_event == original
+    assert sim._taps == []
 
 
 def test_context_manager_detaches():
     sim = Simulator()
-    original = sim._schedule_event
     with DeterminismSanitizer(sim) as sanitizer:
         def worker(sim):
             yield sim.timeout(1.0)
 
         sim.process(worker(sim))
         sim.run()
-    assert sim._schedule_event == original
+    assert sim._taps == []
     assert sanitizer.event_count > 0
 
 

@@ -11,6 +11,9 @@ import os
 import repro
 from repro.analysis import (
     IncrementalAnalyzer,
+    MpAnalyzer,
+    PerfAnalyzer,
+    build_graph,
     lint_paths,
     semantic_rules_by_id,
 )
@@ -37,6 +40,20 @@ def test_semantic_tier_reports_zero_violations_on_src_repro():
     )
     assert not run.findings, (
         f"semantic analysis found violations in src/repro:\n{rendered}"
+    )
+
+
+def test_perf_tier_reports_zero_violations_on_src_repro():
+    """PERF/MP must be clean too: every remaining hot-path formatting or
+    allocation site is either fixed or carries a justified pragma."""
+    graph = build_graph([repro_source_root()])
+    findings = PerfAnalyzer().analyze_graph(graph)
+    findings += MpAnalyzer().analyze_graph(graph)
+    rendered = "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in findings
+    )
+    assert not findings, (
+        f"perf analysis found violations in src/repro:\n{rendered}"
     )
 
 
