@@ -19,15 +19,28 @@ Modes (both are exercised in CI):
     (mid-run crash).  The coordinator respawns the partition from its
     seed, replays its journal, and the run must still match the
     reference when ``--check`` is also given.
+``--plan plan.json``
+    Execute a :class:`~repro.fleet.PartitionPlan` emitted by the static
+    planner (``python -m repro.analysis --plan --plan-out plan.json``)
+    instead of round-robin shards.  ``--workload skewed`` selects the
+    imbalanced service mix the planner balances; with ``--check`` the
+    planned run must still match the reference byte for byte.
 
 Run:  python examples/fleet_drive.py [--partitions 4] [--check] [--kill 1:3]
 """
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.faults import KillPhase, KillPlan
-from repro.fleet import FleetConfig, FleetCoordinator, run_single_process
+from repro.fleet import (
+    FleetConfig,
+    FleetCoordinator,
+    PartitionPlan,
+    run_single_process,
+)
+from repro.workloads import STYLES
 
 
 def parse_kill(text: str) -> KillPlan:
@@ -49,6 +62,12 @@ def main() -> int:
                         help="verify against the single-process reference")
     parser.add_argument("--kill", metavar="P:R", default=None,
                         help="SIGKILL partition P's worker at barrier R")
+    parser.add_argument("--workload", choices=sorted(STYLES),
+                        default="uniform",
+                        help="per-vehicle service mix (default: uniform)")
+    parser.add_argument("--plan", metavar="PATH", default=None,
+                        help="execute a planner-emitted PartitionPlan JSON "
+                             "instead of round-robin shards")
     args = parser.parse_args()
 
     config = FleetConfig(
@@ -58,7 +77,12 @@ def main() -> int:
         duration_s=args.duration,
         barrier_deadline_s=120.0,
         kill_plan=parse_kill(args.kill) if args.kill else None,
+        workload=args.workload,
     )
+    if args.plan:
+        plan = PartitionPlan.load(args.plan)
+        config = replace(config, plan=plan.shards_for(config))
+        print(f"executing plan {args.plan}: shards {plan.shards}")
     with FleetCoordinator(config) as coordinator:
         result = coordinator.run()
     print(result.report().to_text())

@@ -27,6 +27,12 @@ property checked on every commit instead of a convention in DESIGN.md:
   candidates, hot-path formatting), MP001-003 multiprocess-safety rules
   for the fleet layer, and profile-guided ranking (``--perf
   --profile run.pstats``) that orders findings by expected payoff;
+* a **planning** tier (:mod:`.commgraph`, :mod:`.cost`, :mod:`.plan`):
+  static extraction of the cross-vehicle communication graph with link
+  latencies recovered by bounded constant propagation + unit inference,
+  a provable cross-partition lookahead, FLEET001-003 barrier-safety
+  rules, and a greedy-LPT cost-balanced partition plan the fleet layer
+  executes (``--plan``);
 * a **runtime** cross-check (:mod:`.sanitizer`): an opt-in
   ``DeterminismSanitizer`` that hashes the live event trace so two
   same-seed runs can be diffed to the first diverging event;
@@ -36,6 +42,7 @@ property checked on every commit instead of a convention in DESIGN.md:
     python -m repro.analysis --whole-program --jobs 4 src/repro tests --strict
     python -m repro.analysis --cache src/repro tests --strict
     python -m repro.analysis --perf --profile run.pstats src/repro
+    python -m repro.analysis --plan --dump-plan --format json src/repro
     vdaplint --list-rules
 """
 
@@ -50,6 +57,15 @@ from .cache import (
     semantic_rules_by_id,
 )
 from .callgraph import ProjectGraph, build_graph, infer_module_name
+from .commgraph import (
+    COMM_SINKS,
+    CommEdge,
+    CommGraph,
+    CommSinkSpec,
+    ConstResolver,
+    is_latency_name,
+)
+from .cost import ROLE_ROOTS, RoleWeights, vehicle_costs
 from .dataflow import (
     FLOW_RULE_CLASSES,
     TaintAnalysis,
@@ -69,6 +85,15 @@ from .engine import (
     lint_source,
 )
 from .mp import MP_RULE_CLASSES, MpAnalyzer, mp_rules, mp_rules_by_id
+from .plan import (
+    FLEET_RULE_CLASSES,
+    FleetPlanAnalyzer,
+    emit_plan,
+    fleet_rules,
+    fleet_rules_by_id,
+    parse_fleet_spec,
+    plan_for_config,
+)
 from .perf import (
     HOT_ROOT_SUFFIXES,
     PERF_RULE_CLASSES,
@@ -98,13 +123,20 @@ from .cli import main
 
 __all__ = [
     "Baseline",
+    "COMM_SINKS",
     "CachedRun",
+    "CommEdge",
+    "CommGraph",
+    "CommSinkSpec",
+    "ConstResolver",
     "DEFAULT_CACHE_DIR",
     "DeterminismSanitizer",
     "Divergence",
+    "FLEET_RULE_CLASSES",
     "FLOW_RULE_CLASSES",
     "FileContext",
     "Finding",
+    "FleetPlanAnalyzer",
     "HOT_ROOT_SUFFIXES",
     "HotPathIndex",
     "IncrementalAnalyzer",
@@ -119,7 +151,9 @@ __all__ = [
     "Pragmas",
     "ProjectGraph",
     "ProtocolChecker",
+    "ROLE_ROOTS",
     "RULE_CLASSES",
+    "RoleWeights",
     "Rule",
     "SEMANTIC_RULE_CLASSES",
     "SKIP_MARKER",
@@ -134,20 +168,26 @@ __all__ = [
     "catalogue_fingerprint",
     "default_rules",
     "discover_files",
+    "emit_plan",
     "fingerprint_findings",
+    "fleet_rules",
+    "fleet_rules_by_id",
     "flow_rules",
     "flow_rules_by_id",
     "infer_module_name",
+    "is_latency_name",
     "lint_paths",
     "lint_source",
     "load_profile",
     "main",
     "mp_rules",
     "mp_rules_by_id",
+    "parse_fleet_spec",
     "parse_name_unit",
     "parse_unit_expr",
     "perf_rules",
     "perf_rules_by_id",
+    "plan_for_config",
     "rank_findings",
     "render_json",
     "render_text",
@@ -155,4 +195,5 @@ __all__ = [
     "semantic_rules",
     "semantic_rules_by_id",
     "summarize_module",
+    "vehicle_costs",
 ]

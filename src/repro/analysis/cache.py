@@ -99,11 +99,12 @@ def catalogue_fingerprint() -> str:
     from .dataflow import flow_rules
     from .mp import mp_rules
     from .perf import perf_rules
+    from .plan import fleet_rules
     from .rules import default_rules
 
     parts: list[str] = []
     for pack in (default_rules(), flow_rules(), semantic_rules(),
-                 perf_rules(), mp_rules()):
+                 perf_rules(), mp_rules(), fleet_rules()):
         parts.extend(sorted(f"{rule.id}@{rule.version}" for rule in pack))
     return _blake("|".join(parts).encode("utf-8"))
 

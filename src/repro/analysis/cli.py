@@ -29,9 +29,17 @@ from .cache import (
     semantic_rules_by_id,
 )
 from .callgraph import build_graph
+from .commgraph import CommGraph
 from .dataflow import TaintAnalysis, WholeProgramAnalyzer, flow_rules, flow_rules_by_id
 from .engine import Finding, LintEngine, Rule, discover_files
 from .mp import MpAnalyzer, mp_rules, mp_rules_by_id
+from .plan import (
+    FleetPlanAnalyzer,
+    emit_plan,
+    fleet_rules,
+    fleet_rules_by_id,
+    parse_fleet_spec,
+)
 from .perf import (
     HotPathIndex,
     PerfAnalyzer,
@@ -141,6 +149,38 @@ def build_parser() -> argparse.ArgumentParser:
              "kernel) in the report (requires --perf)",
     )
     parser.add_argument(
+        "--plan", action="store_true",
+        help=(
+            "also run the static fleet planner over the project call graph: "
+            "extract the cross-vehicle communication graph, verify the "
+            "barrier geometry against the provable lookahead (FLEET001-003), "
+            "and emit a cost-balanced partition plan"
+        ),
+    )
+    parser.add_argument(
+        "--plan-fleet", metavar="SPEC",
+        help=(
+            "fleet to plan for, as comma-separated key=value items "
+            "(vehicles, partitions, seed, duration, workload), e.g. "
+            "'vehicles=8,partitions=4,seed=17,workload=skewed' "
+            "(requires --plan)"
+        ),
+    )
+    parser.add_argument(
+        "--plan-out", metavar="PATH",
+        help="write the emitted PartitionPlan JSON to PATH (requires --plan)",
+    )
+    parser.add_argument(
+        "--dump-commgraph", action="store_true",
+        help="embed the extracted communication graph (edges, link "
+             "latencies, lookahead proof) in the report (requires --plan)",
+    )
+    parser.add_argument(
+        "--dump-plan", action="store_true",
+        help="embed the emitted partition plan in the report "
+             "(requires --plan)",
+    )
+    parser.add_argument(
         "--cache", action="store_true",
         help=(
             "enable the incremental analysis cache: warm runs re-analyze "
@@ -162,15 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
 def _pick_rules(
     select: Optional[str], ignore: Optional[str],
     parser: argparse.ArgumentParser,
-) -> tuple[list[Rule], list[Rule], dict[str, Rule], list[Rule]]:
-    """Split the selection into (per-file, whole-program, semantic, perf)."""
+) -> tuple[list[Rule], list[Rule], dict[str, Rule], list[Rule], list[Rule]]:
+    """Split the selection into (per-file, whole-program, semantic, perf,
+    fleet)."""
     file_catalogue = rules_by_id()
     flow_catalogue = flow_rules_by_id()
     semantic_catalogue = semantic_rules_by_id()
     perf_catalogue = {**perf_rules_by_id(), **mp_rules_by_id()}
+    fleet_catalogue = fleet_rules_by_id()
     catalogue = {
         **file_catalogue, **flow_catalogue, **semantic_catalogue,
-        **perf_catalogue,
+        **perf_catalogue, **fleet_catalogue,
     }
 
     def parse_ids(raw: str) -> list[str]:
@@ -184,7 +226,7 @@ def _pick_rules(
         chosen = [catalogue[rule_id] for rule_id in parse_ids(select)]
     else:
         chosen = (default_rules() + flow_rules() + semantic_rules()
-                  + perf_rules() + mp_rules())
+                  + perf_rules() + mp_rules() + fleet_rules())
     if ignore:
         skipped = set(parse_ids(ignore))
         chosen = [rule for rule in chosen if rule.id not in skipped]
@@ -192,7 +234,8 @@ def _pick_rules(
     wp_rules = [r for r in chosen if r.id in flow_catalogue]
     semantic_map = {r.id: r for r in chosen if r.id in semantic_catalogue}
     perf_pack = [r for r in chosen if r.id in perf_catalogue]
-    return file_rules, wp_rules, semantic_map, perf_pack
+    fleet_pack = [r for r in chosen if r.id in fleet_catalogue]
+    return file_rules, wp_rules, semantic_map, perf_pack, fleet_pack
 
 
 def _init_worker(rule_ids: Sequence[str]) -> None:
@@ -241,16 +284,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.id}  {rule.name} [perf]: {rule.description}")
         for rule in mp_rules():
             print(f"{rule.id}  {rule.name} [mp]: {rule.description}")
+        for rule in fleet_rules():
+            print(f"{rule.id}  {rule.name} [fleet]: {rule.description}")
         return 0
 
     if (args.dump_callgraph or args.dump_taint) and not args.whole_program:
         parser.error("--dump-callgraph/--dump-taint require --whole-program")
-    if args.profile and not args.perf:
-        parser.error("--profile requires --perf")
+    if args.profile and not (args.perf or args.plan):
+        parser.error("--profile requires --perf or --plan")
     if args.dump_hotpaths and not args.perf:
         parser.error("--dump-hotpaths requires --perf")
+    if (
+        args.dump_commgraph or args.dump_plan
+        or args.plan_out or args.plan_fleet
+    ) and not args.plan:
+        parser.error(
+            "--dump-commgraph/--dump-plan/--plan-out/--plan-fleet "
+            "require --plan"
+        )
 
-    file_rules, wp_rules, semantic_map, perf_pack = _pick_rules(
+    file_rules, wp_rules, semantic_map, perf_pack, fleet_pack = _pick_rules(
         args.select, args.ignore, parser
     )
     if args.select and wp_rules and not args.whole_program:
@@ -264,6 +317,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "performance rules selected "
             f"({', '.join(sorted(r.id for r in perf_pack))}) "
             "but --perf not given"
+        )
+    if args.select and fleet_pack and not args.plan:
+        parser.error(
+            "fleet planner rules selected "
+            f"({', '.join(sorted(r.id for r in fleet_pack))}) "
+            "but --plan not given"
         )
 
     try:
@@ -294,8 +353,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     debug: dict = {}
     graph = None
-    if args.whole_program or args.perf:
+    if args.whole_program or args.perf or args.plan:
         graph = build_graph(args.paths)
+    profile = None
+    if args.profile:
+        try:
+            profile = load_profile(args.profile)
+        except ValueError as err:
+            parser.error(str(err))
     if args.whole_program:
         analyzer = WholeProgramAnalyzer(wp_rules)
         findings = sorted(findings + analyzer.analyze_graph(graph))
@@ -307,7 +372,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     hot = None
     perf_owners: dict[tuple[str, int, str], str] = {}
-    profile = None
     if args.perf:
         hot = HotPathIndex(graph)
         perf_analyzer = PerfAnalyzer(
@@ -320,13 +384,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mp_findings = mp_analyzer.analyze_graph(graph)
         perf_owners = {**perf_analyzer.owners, **mp_analyzer.owners}
         findings = sorted(findings + perf_findings + mp_findings)
-        if args.profile:
-            try:
-                profile = load_profile(args.profile)
-            except ValueError as err:
-                parser.error(str(err))
         if args.dump_hotpaths:
             debug["hotpaths"] = hot.to_debug_dict()
+
+    if args.plan:
+        comm = CommGraph(graph)
+        fleet_analyzer = FleetPlanAnalyzer(graph, fleet_pack)
+        findings = sorted(findings + fleet_analyzer.analyze(comm))
+        try:
+            fleet = parse_fleet_spec(args.plan_fleet) if args.plan_fleet else None
+            plan = emit_plan(graph, fleet=fleet, profile=profile, comm=comm)
+        except ValueError as err:
+            parser.error(str(err))
+        if args.plan_out:
+            plan.save(args.plan_out)
+        if args.dump_commgraph:
+            debug["commgraph"] = comm.to_debug_dict()
+        if args.dump_plan:
+            debug["plan"] = plan.to_dict()
 
     if args.write_baseline:
         previous = Baseline()

@@ -1,0 +1,709 @@
+"""Static communication-graph extraction for the fleet planner.
+
+Layer (a) of the planning compiler (``--plan``): walk the project call
+graph from every ``sim.process`` root to the cross-vehicle communication
+sinks (V2V bus send/deliver, the barrier envelope exchange, cellular
+sends), attach the minimum link latency each edge can carry, and derive
+the *provable* cross-partition lookahead -- the largest barrier step the
+conservative time-sync protocol can use without ever delivering an
+envelope into a partition's past.
+
+Latencies are recovered statically by :class:`ConstResolver`, a bounded
+constant-propagation pass over the same symbol table the call graph
+already built: literal -> local -> module constant -> dataclass field
+default -> constructor argument, with PR-5 unit inference
+(:func:`~repro.analysis.units.parse_name_unit`) deciding which names are
+latency-dimensioned in the first place.  Resolution is deliberately
+conservative: a value only resolves when *every* path to it resolves,
+and the lookahead is only "provable" when every cross-partition send
+edge carries a resolved, positive latency.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .callgraph import CallSite, FunctionInfo, ModuleInfo, ProjectGraph
+from .units import parse_name_unit
+
+__all__ = [
+    "COMM_SINKS",
+    "CommEdge",
+    "CommGraph",
+    "CommSinkSpec",
+    "ConstResolver",
+    "is_latency_name",
+]
+
+_TIME_DIMS = (("time", 1),)
+
+
+def is_latency_name(name: str) -> bool:
+    """True when ``name`` is unit-inferred to carry a time dimension."""
+    unit = parse_name_unit(name)
+    return unit is not None and unit.dims == _TIME_DIMS
+
+
+@dataclass(frozen=True)
+class CommSinkSpec:
+    """One cross-vehicle communication primitive the walker looks for.
+
+    ``class_name``/``method`` identify the sink; ``cross_partition``
+    marks traffic that crosses partition boundaries (and therefore
+    bounds the barrier step); ``barrier_only`` marks entry points that
+    must run with the sim clock parked (calling them from inside a sim
+    process bypasses the canonical barrier exchange -- FLEET003);
+    ``latency_attr`` names the instance attribute holding the link
+    latency the sink schedules with.
+    """
+
+    class_name: str
+    method: str
+    kind: str
+    cross_partition: bool
+    barrier_only: bool
+    latency_attr: Optional[str] = None
+
+
+#: The sink vocabulary: the fleet V2V bus (send side bounds the
+#: lookahead; deliver/drain are the barrier-side exchange) plus the net
+#: layer's cellular uplink (intra-vehicle, informational).
+COMM_SINKS: tuple[CommSinkSpec, ...] = (
+    CommSinkSpec("V2VBus", "send", "v2v-send",
+                 cross_partition=True, barrier_only=False,
+                 latency_attr="latency_s"),
+    CommSinkSpec("V2VBus", "deliver", "v2v-deliver",
+                 cross_partition=True, barrier_only=True,
+                 latency_attr="latency_s"),
+    CommSinkSpec("V2VBus", "drain_outbox", "envelope-exchange",
+                 cross_partition=True, barrier_only=True),
+    CommSinkSpec("CellularUplink", "send_packet", "cellular-send",
+                 cross_partition=False, barrier_only=False),
+)
+
+
+@dataclass(frozen=True)
+class CommEdge:
+    """One path from a sim-process root to a communication sink."""
+
+    root: str
+    sink: str
+    kind: str
+    cross_partition: bool
+    barrier_only: bool
+    #: Witness chain ``root -> ... -> calling function``.
+    chain: tuple[str, ...]
+    path: str
+    line: int
+    col: int
+    #: Minimum link latency this edge can schedule with (None: unproven).
+    latency_s: Optional[float] = None
+
+    def to_debug_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "sink": self.sink,
+            "kind": self.kind,
+            "cross_partition": self.cross_partition,
+            "barrier_only": self.barrier_only,
+            "chain": list(self.chain),
+            "site": f"{self.path}:{self.line}",
+            "latency_s": self.latency_s,
+        }
+
+
+class ConstResolver:
+    """Bounded constant propagation over the project symbol table.
+
+    ``resolve_expr`` maps an expression (in a module/function context)
+    to a float when the value is statically forced; ``resolve_param``
+    takes the *minimum* over every call site (plus the default), which
+    is exactly the conservative bound a lookahead proof needs.  Any
+    unresolvable contributor -- ``*args``/``**kwargs`` at a site, a
+    loop-carried local, an ambiguous attribute -- poisons the result to
+    ``None`` rather than guessing.
+    """
+
+    MAX_DEPTH = 10
+
+    def __init__(self, graph: ProjectGraph):
+        self.graph = graph
+        #: class qualname -> attr -> ("param", init FunctionInfo, name)
+        #: or ("expr", value node, enclosing FunctionInfo | None).
+        self._class_attrs: dict[str, dict[str, tuple]] = {}
+        #: attr name -> class qualnames that define/assign it.
+        self._attr_owners: dict[str, set[str]] = {}
+        #: class qualname -> attr -> class qualname of ``self.attr = Cls(...)``.
+        self.attr_types: dict[str, dict[str, str]] = {}
+        #: class qualname -> dataclass-style field declaration order.
+        self._field_order: dict[str, list[str]] = {}
+        self._module_consts: dict[str, dict[str, ast.expr]] = {}
+        #: callee qualname (function, and class for constructors) -> sites.
+        self._sites_of: dict[str, list[CallSite]] = {}
+        self._memo: dict[tuple, Optional[float]] = {}
+        self._index()
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index(self) -> None:
+        for name in sorted(self.graph.modules):
+            module = self.graph.modules[name]
+            consts = self._module_consts.setdefault(name, {})
+            for stmt in module.tree.body:
+                for target, value in _simple_bindings(stmt):
+                    consts.setdefault(target, value)
+        for class_qual in sorted(self.graph.classes):
+            self._index_class(class_qual)
+        for caller in sorted(self.graph.calls):
+            for site in self.graph.calls[caller]:
+                if not site.callee:
+                    continue
+                self._sites_of.setdefault(site.callee, []).append(site)
+                if site.callee.endswith(".__init__"):
+                    class_qual = site.callee.rsplit(".", 1)[0]
+                    self._sites_of.setdefault(class_qual, []).append(site)
+
+    def _index_class(self, class_qual: str) -> None:
+        cls = self.graph.classes[class_qual]
+        attrs = self._class_attrs.setdefault(class_qual, {})
+        order = self._field_order.setdefault(class_qual, [])
+        for stmt in cls.node.body:
+            for target, value in _simple_bindings(stmt):
+                attrs.setdefault(target, ("expr", _unwrap_field(value), None))
+                self._attr_owners.setdefault(target, set()).add(class_qual)
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                order.append(stmt.target.id)
+        init = cls.methods.get("__init__")
+        if init is None:
+            return
+        params = _param_names(init.node)
+        self_name = params[0] if params else "self"
+        sites_by_node = {
+            id(site.node): site
+            for site in self.graph.calls.get(init.qualname, ())
+            if site.node is not None
+        }
+        for node in ast.walk(init.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self_name
+            ):
+                continue
+            self._attr_owners.setdefault(target.attr, set()).add(class_qual)
+            if isinstance(node.value, ast.Name) and node.value.id in params:
+                attrs[target.attr] = ("param", init, node.value.id)
+            else:
+                attrs[target.attr] = ("expr", node.value, init)
+            if isinstance(node.value, ast.Call):
+                site = sites_by_node.get(id(node.value))
+                callee = site.callee if site is not None else None
+                if callee and callee.endswith(".__init__"):
+                    callee = callee.rsplit(".", 1)[0]
+                if callee in self.graph.classes:
+                    self.attr_types.setdefault(class_qual, {})[target.attr] = callee
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_expr(
+        self,
+        expr: Optional[ast.AST],
+        module: Optional[ModuleInfo],
+        func: Optional[FunctionInfo],
+        depth: int = 0,
+    ) -> Optional[float]:
+        if expr is None or depth > self.MAX_DEPTH:
+            return None
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, (int, float)) and not isinstance(expr.value, bool):
+                return float(expr.value)
+            return None
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, (ast.USub, ast.UAdd)):
+            value = self.resolve_expr(expr.operand, module, func, depth + 1)
+            if value is None:
+                return None
+            return -value if isinstance(expr.op, ast.USub) else value
+        if isinstance(expr, ast.BinOp):
+            return self._resolve_binop(expr, module, func, depth)
+        if isinstance(expr, ast.Name):
+            return self._resolve_name(expr.id, module, func, depth)
+        if isinstance(expr, ast.Attribute):
+            return self._resolve_attribute(expr, module, func, depth)
+        return None
+
+    def _resolve_binop(self, expr, module, func, depth) -> Optional[float]:
+        ops = {ast.Add: float.__add__, ast.Sub: float.__sub__,
+               ast.Mult: float.__mul__}
+        op = ops.get(type(expr.op))
+        left = self.resolve_expr(expr.left, module, func, depth + 1)
+        right = self.resolve_expr(expr.right, module, func, depth + 1)
+        if left is None or right is None:
+            return None
+        if op is not None:
+            return op(left, right)
+        if isinstance(expr.op, ast.Div) and right != 0:
+            return left / right
+        return None
+
+    def _resolve_name(self, name, module, func, depth) -> Optional[float]:
+        if func is not None:
+            if name in _param_names(func.node):
+                return self.resolve_param(func, name, depth + 1)
+            binding = _single_local_binding(func.node, name)
+            if binding is not _NO_BINDING:
+                return self.resolve_expr(binding, module, func, depth + 1)
+        if module is None:
+            return None
+        const = self._module_consts.get(module.name, {}).get(name)
+        if const is not None:
+            return self.resolve_expr(const, module, None, depth + 1)
+        target = module.imports.get(name)
+        if target is not None:
+            dotted = ProjectGraph._absolutize(target, module)
+            return self._resolve_dotted_const(dotted, depth + 1)
+        return None
+
+    def _resolve_dotted_const(self, dotted: str, depth: int) -> Optional[float]:
+        """``pkg.module.NAME`` -> the module-level constant, if indexed."""
+        mod_name, _, const = dotted.rpartition(".")
+        target_module = self.graph.modules.get(mod_name)
+        if target_module is None or not const:
+            return None
+        value = self._module_consts.get(mod_name, {}).get(const)
+        if value is None:
+            return None
+        return self.resolve_expr(value, target_module, None, depth + 1)
+
+    def _resolve_attribute(self, expr, module, func, depth) -> Optional[float]:
+        dotted = ProjectGraph._dotted(expr)
+        if dotted is not None and module is not None:
+            root = dotted.split(".", 1)[0]
+            if root in module.imports:
+                target = ProjectGraph._absolutize(module.imports[root], module)
+                rest = dotted.split(".", 1)[1]
+                value = self._resolve_dotted_const(f"{target}.{rest}", depth + 1)
+                if value is not None:
+                    return value
+        # ``self.attr`` inside a method: the enclosing class scopes the
+        # lookup, so an attr name shared across classes stays precise.
+        if (
+            isinstance(expr.value, ast.Name)
+            and func is not None
+            and func.class_name is not None
+        ):
+            params = _param_names(func.node)
+            if params and expr.value.id == params[0]:
+                class_qual = func.qualname.rsplit(".", 1)[0]
+                if class_qual in self.graph.classes:
+                    return self.resolve_class_attr(class_qual, expr.attr, depth + 1)
+        # Unique-attribute fallback: every owning class must agree.
+        owners = sorted(self._attr_owners.get(expr.attr, ()))
+        if not owners:
+            return None
+        values = {
+            self.resolve_class_attr(owner, expr.attr, depth + 1)
+            for owner in owners
+        }
+        if len(values) == 1 and None not in values:
+            return values.pop()
+        return None
+
+    def resolve_class_attr(self, class_qual: str, attr: str,
+                           depth: int = 0) -> Optional[float]:
+        """The value ``<instance>.attr`` is statically forced to carry."""
+        key = ("attr", class_qual, attr)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None  # cycle guard: in-progress resolves to None
+        if depth > self.MAX_DEPTH:
+            return None
+        entry = self._class_attrs.get(class_qual, {}).get(attr)
+        cls = self.graph.classes.get(class_qual)
+        if entry is None or cls is None:
+            return None
+        module = self.graph.modules.get(cls.module)
+        if entry[0] == "param":
+            value = self.resolve_param(entry[1], entry[2], depth + 1)
+        elif "__init__" not in cls.methods and attr in self._field_order.get(
+            class_qual, ()
+        ):
+            # Dataclass-style field: constructor keywords override the
+            # declared default, so the bound is the min over both.
+            value = self._resolve_field(class_qual, attr, entry[1], module, depth)
+        else:
+            value = self.resolve_expr(entry[1], module, entry[2], depth + 1)
+        self._memo[key] = value
+        return value
+
+    def resolve_param(self, func: FunctionInfo, name: str,
+                      depth: int = 0) -> Optional[float]:
+        """Min over every resolvable value call sites pass for ``name``."""
+        key = ("param", func.qualname, name)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None
+        if depth > self.MAX_DEPTH:
+            return None
+        default = _param_default(func.node, name)
+        module = self.graph.modules.get(func.module)
+        candidates: list[Optional[float]] = []
+        sites = self._sites_of.get(func.qualname, ())
+        for site in sorted(sites, key=lambda s: (s.path, s.line, s.col)):
+            arg = self._site_arg(site, func, name)
+            if arg is _OMITTED:
+                arg = default
+            candidates.append(self._resolve_site_expr(site, arg, depth))
+        if not sites:
+            if default is None:
+                return None
+            candidates.append(self.resolve_expr(default, module, None, depth + 1))
+        if candidates and None not in candidates:
+            self._memo[key] = min(candidates)
+        return self._memo[key]
+
+    def _resolve_field(self, class_qual, attr, default, module,
+                       depth) -> Optional[float]:
+        fields = self._field_order.get(class_qual, [])
+        candidates: list[Optional[float]] = []
+        sites = self._sites_of.get(class_qual, ())
+        for site in sorted(sites, key=lambda s: (s.path, s.line, s.col)):
+            arg = _ctor_arg(site.node, fields, attr)
+            if arg is _OMITTED:
+                arg = default
+            candidates.append(self._resolve_site_expr(site, arg, depth))
+        if not sites:
+            candidates.append(self.resolve_expr(default, module, None, depth + 1))
+        if candidates and None not in candidates:
+            return min(candidates)
+        return None
+
+    def _resolve_site_expr(self, site: CallSite, expr,
+                           depth: int) -> Optional[float]:
+        if expr is None or expr is _UNKNOWN:
+            return None
+        caller = self.graph.functions.get(site.caller)
+        if caller is not None:
+            module = self.graph.modules.get(caller.module)
+        else:
+            # Module-body callers are recorded as ``<module>#<body>``.
+            module = self.graph.modules.get(site.caller.split("#", 1)[0])
+        return self.resolve_expr(expr, module, caller, depth + 1)
+
+    def _site_arg(self, site: CallSite, func: FunctionInfo, name: str):
+        node = site.node
+        if node is None:
+            return _UNKNOWN
+        if any(isinstance(a, ast.Starred) for a in node.args) or any(
+            kw.arg is None for kw in node.keywords
+        ):
+            return _UNKNOWN
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        params = _param_names(func.node)
+        if func.class_name is not None and params:
+            params = params[1:]
+        if name in params:
+            index = params.index(name)
+            if index < len(node.args):
+                return node.args[index]
+        return _OMITTED
+
+
+#: Sentinels: the site passes something unresolvable / omits the argument.
+_UNKNOWN = object()
+_OMITTED = object()
+_NO_BINDING = object()
+
+
+def _simple_bindings(stmt: ast.stmt):
+    """``NAME = expr`` / ``NAME: T = expr`` bindings in one statement."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        if isinstance(stmt.targets[0], ast.Name):
+            yield stmt.targets[0].id, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id, stmt.value
+
+
+def _unwrap_field(value: ast.expr) -> Optional[ast.expr]:
+    """``field(default=X)`` -> ``X``; other factories stay unresolved."""
+    if isinstance(value, ast.Call):
+        dotted = ProjectGraph._dotted(value.func) or ""
+        if dotted.split(".")[-1] == "field":
+            for kw in value.keywords:
+                if kw.arg == "default":
+                    return kw.value
+            return None
+    return value
+
+
+def _param_names(node: ast.AST) -> list[str]:
+    args = getattr(node, "args", None)
+    if args is None:
+        return []
+    return [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+
+
+def _param_default(node: ast.AST, name: str) -> Optional[ast.expr]:
+    args = getattr(node, "args", None)
+    if args is None:
+        return None
+    positional = args.posonlyargs + args.args
+    defaults = args.defaults
+    for arg, default in zip(positional[len(positional) - len(defaults):], defaults):
+        if arg.arg == name:
+            return default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg == name and default is not None:
+            return default
+    return None
+
+
+def _single_local_binding(func_node: ast.AST, name: str):
+    """The RHS when ``name`` is bound exactly once, by a plain assignment."""
+    simple: list[ast.expr] = []
+    other = 0
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    simple.append(node.value)
+                elif isinstance(target, (ast.Tuple, ast.List)) and any(
+                    isinstance(el, ast.Name) and el.id == name
+                    for el in target.elts
+                ):
+                    other += 1
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                if node.value is not None:
+                    simple.append(node.value)
+        elif isinstance(node, (ast.AugAssign, ast.For, ast.comprehension)):
+            target = getattr(node, "target", None)
+            for sub in ast.walk(target) if target is not None else ():
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    other += 1
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            for sub in ast.walk(node.optional_vars):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    other += 1
+    if len(simple) == 1 and not other:
+        return simple[0]
+    return _NO_BINDING
+
+
+def _ctor_arg(node: Optional[ast.Call], fields: list[str], name: str):
+    """The expression a dataclass constructor call passes for ``name``."""
+    if node is None:
+        return _UNKNOWN
+    if any(isinstance(a, ast.Starred) for a in node.args) or any(
+        kw.arg is None for kw in node.keywords
+    ):
+        return _UNKNOWN
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    if name in fields:
+        index = fields.index(name)
+        if index < len(node.args):
+            return node.args[index]
+    return _OMITTED
+
+
+class CommGraph:
+    """The extracted communication graph plus the lookahead proof."""
+
+    def __init__(self, graph: ProjectGraph):
+        self.graph = graph
+        self.resolver = ConstResolver(graph)
+        #: (spec, class qualname, method qualname) per sink found in-tree.
+        self._sinks: list[tuple[CommSinkSpec, str, str]] = []
+        self._by_method: dict[str, list[tuple[CommSinkSpec, str, str]]] = {}
+        for spec in COMM_SINKS:
+            for class_qual in sorted(self.graph.classes):
+                cls = self.graph.classes[class_qual]
+                if cls.name != spec.class_name or spec.method not in cls.methods:
+                    continue
+                entry = (spec, class_qual, cls.methods[spec.method].qualname)
+                self._sinks.append(entry)
+                self._by_method.setdefault(spec.method, []).append(entry)
+        self._latency_memo: dict[tuple[str, str], Optional[float]] = {}
+        self.sim_reachable = graph.sim_reachable()
+        self.edges: list[CommEdge] = self._extract()
+
+    # -- sink matching -----------------------------------------------------
+
+    def _match_sink(
+        self, site: CallSite, caller: Optional[FunctionInfo]
+    ) -> Optional[tuple[CommSinkSpec, str]]:
+        if site.callee:
+            for spec, class_qual, method_qual in self._sinks:
+                if site.callee == method_qual:
+                    return spec, class_qual
+            return None
+        node = site.node
+        if node is None or not isinstance(node.func, ast.Attribute):
+            return None
+        entries = self._by_method.get(node.func.attr)
+        if not entries:
+            return None
+        receiver = self._receiver_type(node.func.value, caller)
+        if receiver is not None:
+            for spec, class_qual, _ in entries:
+                if class_qual == receiver:
+                    return spec, class_qual
+            return None
+        # Unique-owner fallback: safe only when no *other* class in the
+        # project defines a method with this name.
+        owners = {
+            qual
+            for qual, cls in self.graph.classes.items()
+            if node.func.attr in cls.methods
+        }
+        if len(entries) == 1 and owners == {entries[0][1]}:
+            return entries[0][0], entries[0][1]
+        return None
+
+    def _receiver_type(
+        self, expr: ast.AST, caller: Optional[FunctionInfo]
+    ) -> Optional[str]:
+        """Class qualname of a call receiver, via ctor-assignment typing."""
+        if caller is None:
+            return None
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and caller.class_name is not None
+        ):
+            params = _param_names(caller.node)
+            if params and expr.value.id == params[0]:
+                class_qual = caller.qualname.rsplit(".", 1)[0]
+                return self.resolver.attr_types.get(class_qual, {}).get(expr.attr)
+        if isinstance(expr, ast.Name):
+            binding = _single_local_binding(caller.node, expr.id)
+            if binding is not _NO_BINDING and isinstance(binding, ast.Call):
+                for site in self.graph.calls.get(caller.qualname, ()):
+                    if site.node is binding and site.callee:
+                        callee = site.callee
+                        if callee.endswith(".__init__"):
+                            callee = callee.rsplit(".", 1)[0]
+                        if callee in self.graph.classes:
+                            return callee
+        return None
+
+    # -- extraction --------------------------------------------------------
+
+    def _sink_latency(self, spec: CommSinkSpec, class_qual: str) -> Optional[float]:
+        if spec.latency_attr is None:
+            return None
+        key = (class_qual, spec.latency_attr)
+        if key not in self._latency_memo:
+            self._latency_memo[key] = self.resolver.resolve_class_attr(
+                class_qual, spec.latency_attr
+            )
+        return self._latency_memo[key]
+
+    def _extract(self) -> list[CommEdge]:
+        edges: dict[tuple, CommEdge] = {}
+        for root in sorted(self.graph.process_roots):
+            parents: dict[str, Optional[str]] = {root: None}
+            queue = deque([root])
+            while queue:
+                current = queue.popleft()
+                for site in self.graph.calls.get(current, ()):
+                    match = self._match_sink(
+                        site, self.graph.functions.get(current)
+                    )
+                    if match is not None:
+                        spec, class_qual = match
+                        chain: list[str] = []
+                        walk: Optional[str] = current
+                        while walk is not None:
+                            chain.append(walk)
+                            walk = parents[walk]
+                        sink_qual = f"{class_qual}.{spec.method}"
+                        key = (root, sink_qual, site.path, site.line, site.col)
+                        if key not in edges:
+                            edges[key] = CommEdge(
+                                root=root,
+                                sink=sink_qual,
+                                kind=spec.kind,
+                                cross_partition=spec.cross_partition,
+                                barrier_only=spec.barrier_only,
+                                chain=tuple(reversed(chain)),
+                                path=site.path,
+                                line=site.line,
+                                col=site.col,
+                                latency_s=self._sink_latency(spec, class_qual),
+                            )
+                    if (
+                        site.callee
+                        and site.callee in self.graph.functions
+                        and site.callee not in parents
+                    ):
+                        parents[site.callee] = current
+                        queue.append(site.callee)
+        return sorted(
+            edges.values(),
+            key=lambda e: (e.path, e.line, e.col, e.kind, e.root),
+        )
+
+    # -- the lookahead proof -----------------------------------------------
+
+    def send_edges(self) -> list[CommEdge]:
+        """Cross-partition edges that inject latency-bounded traffic."""
+        return [
+            e for e in self.edges if e.cross_partition and not e.barrier_only
+        ]
+
+    def lookahead(self) -> tuple[Optional[float], str]:
+        """(provable lookahead seconds, reason) for this tree."""
+        sends = self.send_edges()
+        if not sends:
+            return None, "no cross-partition send edges found"
+        for edge in sends:
+            if edge.latency_s is None:
+                return None, (
+                    "unresolved link latency on cross-partition edge at "
+                    f"{edge.path}:{edge.line}"
+                )
+        bound = min(e.latency_s for e in sends)
+        if bound <= 0:
+            return None, (
+                "zero-latency cross-partition edge: conservative sync "
+                "cannot advance"
+            )
+        return bound, f"min link latency over {len(sends)} send edge(s)"
+
+    @property
+    def lookahead_s(self) -> Optional[float]:
+        return self.lookahead()[0]
+
+    # -- reporting ---------------------------------------------------------
+
+    def to_debug_dict(self) -> dict:
+        lookahead_s, reason = self.lookahead()
+        return {
+            "roots": sorted(self.graph.process_roots),
+            "sinks": [
+                {
+                    "sink": f"{class_qual}.{spec.method}",
+                    "kind": spec.kind,
+                    "cross_partition": spec.cross_partition,
+                    "barrier_only": spec.barrier_only,
+                    "latency_s": self._sink_latency(spec, class_qual),
+                }
+                for spec, class_qual, _ in sorted(
+                    self._sinks, key=lambda s: (s[1], s[0].method)
+                )
+            ],
+            "edges": [edge.to_debug_dict() for edge in self.edges],
+            "lookahead_s": lookahead_s,
+            "lookahead_reason": reason,
+        }

@@ -1,0 +1,148 @@
+"""Static per-vehicle cost model for the fleet planner.
+
+Layer (b) of the planning compiler: estimate how much kernel work each
+vehicle generates per simulated second, so the partitioner can balance
+shards by cost instead of count.  The estimate has two factors:
+
+* **Role weights** -- how expensive one invocation of each per-vehicle
+  process role (drive tick, beacon, envelope receive, service submit)
+  is, measured statically as call-graph breadth discounted by BFS depth
+  from the role's root, with hot-path functions (PR-7
+  :class:`~repro.analysis.perf.HotPathIndex`) counted double
+  (:class:`RoleWeights`).  When a cProfile pstats
+  dump is supplied the measured cumulative seconds replace the static
+  weight for every profiled role (a ``BENCH_fleet.json`` profile has no
+  per-function data and leaves the static weights in place).
+* **Role rates** -- how often each role fires for a given vehicle,
+  derived from the fleet configuration (tick period, beacon period,
+  ring-neighbour count) and the workload style's per-vehicle service
+  multiplicity (:func:`vehicle_costs`).
+
+Costs are relative, not wall-clock seconds: greedy-LPT only needs the
+ratios, and keeping them unit-free means static and profiled weights can
+be swapped without rescaling the plan format.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .callgraph import ProjectGraph
+from .perf import HotPathIndex, ProfileData
+
+__all__ = ["ROLE_ROOTS", "RoleWeights", "vehicle_costs"]
+
+#: Per-vehicle process roles -> the qualname suffix of the function that
+#: roots the role's work.  The drive suffix is annotated at the source
+#: (:data:`repro.scenario.PLANNER_DRIVE_ROOT`); it is duplicated here as
+#: a plain string so this module never imports the simulation stack.
+ROLE_ROOTS: dict[str, str] = {
+    "drive": "DriveScenario.launch.control_loop",
+    "beacon": "PartitionRuntime._beacon_loop",
+    "receive": "V2VBus._deliver_one",
+    "service": "DSF.submit",
+}
+
+
+class RoleWeights:
+    """Relative per-invocation cost of each process role.
+
+    Static weight of a role = sum over every function reachable from the
+    role root of ``1 / (1 + depth)`` (depth = BFS hops from the root):
+    wide, shallow call trees cost more than narrow, deep ones.  Functions
+    on the :class:`HotPathIndex` hot set count double -- they sit inside a
+    simulation loop, so a role that reaches them fires that work every
+    round, not once.  Weights are normalized so the drive loop is 1.0; a
+    role whose root is not in the analyzed tree weighs 0.0 (it cannot
+    fire there).
+    """
+
+    def __init__(self, graph: ProjectGraph,
+                 hot: Optional[HotPathIndex] = None,
+                 profile: Optional[ProfileData] = None):
+        self.graph = graph
+        self.hot = hot if hot is not None else HotPathIndex(graph)
+        self.roots: dict[str, Optional[str]] = {
+            role: self._find_root(suffix)
+            for role, suffix in ROLE_ROOTS.items()
+        }
+        static = {
+            role: self._breadth(root) if root is not None else 0.0
+            for role, root in self.roots.items()
+        }
+        self.profiled: set[str] = set()
+        blended = dict(static)
+        if profile is not None and profile.kind == "pstats":
+            measured: dict[str, float] = {}
+            for role, root in self.roots.items():
+                info = graph.functions.get(root) if root else None
+                weight = profile.weight_for(info) if info is not None else None
+                if weight is not None and weight > 0:
+                    measured[role] = weight
+            # Only blend when the drive loop itself was profiled: it is
+            # the normalization anchor for both weight sources.
+            if measured.get("drive"):
+                for role, weight in measured.items():
+                    blended[role] = weight / measured["drive"] * (
+                        static["drive"] or 1.0
+                    )
+                self.profiled = set(measured)
+        anchor = blended["drive"] or 1.0
+        self.weights: dict[str, float] = {
+            role: round(value / anchor, 6) for role, value in blended.items()
+        }
+
+    def _find_root(self, suffix: str) -> Optional[str]:
+        matches = sorted(
+            qual for qual in self.graph.functions
+            if qual == suffix or qual.endswith("." + suffix)
+        )
+        return matches[0] if len(matches) == 1 else None
+
+    def _breadth(self, root: str) -> float:
+        depth = {root: 0}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            for site in self.graph.calls.get(current, ()):
+                callee = site.callee
+                if callee and callee in self.graph.functions \
+                        and callee not in depth:
+                    depth[callee] = depth[current] + 1
+                    queue.append(callee)
+        hot = self.hot.hot
+        return sum(
+            (2.0 if qual in hot else 1.0) / (1 + d)
+            for qual, d in depth.items()
+        )
+
+    def to_debug_dict(self) -> dict:
+        return {
+            "roots": {role: self.roots[role] for role in sorted(self.roots)},
+            "weights": {role: self.weights[role] for role in sorted(self.weights)},
+            "profiled_roles": sorted(self.profiled),
+        }
+
+
+def vehicle_costs(config, weights: RoleWeights) -> list[float]:
+    """Relative per-vehicle cost under ``config`` (any FleetConfig-shaped
+    object: needs vehicles/tick_s/beacon_period_s/with_services,
+    ``neighbors(v)``, ``service_count(v)`` and the workload ``style``).
+    """
+    w = weights.weights
+    costs = []
+    for vehicle in range(config.vehicles):
+        fanout = len(config.neighbors(vehicle))
+        tick_rate = 1.0 / config.tick_s
+        beacon_rate = fanout / config.beacon_period_s
+        services = config.service_count(vehicle) if config.with_services else 0
+        service_rate = services * config.style.service_cost_weight
+        cost = (
+            tick_rate * (w["drive"] + service_rate * w["service"])
+            + beacon_rate * w["beacon"]
+            # Ring beacons are symmetric: each neighbour beacons back.
+            + beacon_rate * w["receive"]
+        )
+        costs.append(round(cost, 6))
+    return costs

@@ -21,11 +21,12 @@ story to many vehicles across OS processes without giving any of it up:
   partitioned run must match hash for hash.
 """
 
-from .config import FleetConfig, PartitionSpec, shard_vehicles
+from .config import FleetConfig, PartitionPlan, PartitionSpec, shard_vehicles
 from .coordinator import (
     FleetCoordinator,
     FleetResult,
     FleetStats,
+    run_inline,
     run_single_process,
 )
 from .journal import JournalEntry, PartitionJournal, ReplayDivergence
@@ -62,6 +63,7 @@ __all__ = [
     "Hello",
     "JournalEntry",
     "PartitionJournal",
+    "PartitionPlan",
     "PartitionRuntime",
     "PartitionSpec",
     "PipeEndpoint",
@@ -76,6 +78,7 @@ __all__ = [
     "WorkerHandle",
     "partition_worker_main",
     "respawn_and_replay",
+    "run_inline",
     "run_single_process",
     "shard_vehicles",
     "sort_envelopes",

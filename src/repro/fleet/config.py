@@ -17,28 +17,162 @@ why seed+replay recovery reproduces the original run exactly.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..faults.prockill import KillPlan
+from ..workloads.styles import STYLES, WorkloadStyle
 
-__all__ = ["FleetConfig", "PartitionSpec", "shard_vehicles"]
+__all__ = ["FleetConfig", "PartitionPlan", "PartitionSpec", "shard_vehicles"]
 
 
-def shard_vehicles(vehicles: int, partitions: int) -> list[tuple[int, ...]]:
-    """Round-robin vehicle indices over partitions (stable, load-balanced)."""
+def shard_vehicles(
+    vehicles: int, partitions: int,
+    costs: Optional[Sequence[float]] = None,
+) -> list[tuple[int, ...]]:
+    """Assign vehicle indices to partitions.
+
+    Without ``costs``: stable round-robin (the PR-6 default).  With
+    ``costs`` (one non-negative weight per vehicle): greedy LPT --
+    vehicles in descending cost order, each onto the currently lightest
+    partition, ties broken by lowest index on both sides -- which is
+    deterministic and within 4/3 of the optimal makespan.  Cost-balanced
+    shards may be uneven, including empty (a planner may leave a
+    partition idle rather than split a heavy vehicle's neighbours).
+    """
     if vehicles < 1:
         raise ValueError(f"need at least one vehicle, got {vehicles}")
     if not 1 <= partitions <= vehicles:
         raise ValueError(
             f"partitions must be in [1, {vehicles}], got {partitions}"
         )
-    return [
-        tuple(v for v in range(vehicles) if v % partitions == p)
-        for p in range(partitions)
-    ]
+    if costs is None:
+        return [
+            tuple(v for v in range(vehicles) if v % partitions == p)
+            for p in range(partitions)
+        ]
+    if len(costs) != vehicles:
+        raise ValueError(
+            f"need one cost per vehicle: got {len(costs)} for {vehicles}"
+        )
+    if any(c < 0 for c in costs):
+        raise ValueError("vehicle costs must be non-negative")
+    shards: list[list[int]] = [[] for _ in range(partitions)]
+    loads = [0.0] * partitions
+    for vehicle in sorted(range(vehicles), key=lambda v: (-costs[v], v)):
+        target = min(range(partitions), key=lambda p: (loads[p], p))
+        shards[target].append(vehicle)
+        loads[target] += costs[vehicle]
+    return [tuple(sorted(shard)) for shard in shards]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A cost-balanced shard assignment, as emitted by ``--plan``.
+
+    The JSON document the planner writes and :class:`FleetConfig`
+    consumes.  ``shards`` is the contract: every vehicle exactly once,
+    one (possibly empty) shard per partition.  The remaining fields are
+    provenance -- the costs the partitioner balanced, the lookahead the
+    commgraph proved, the workload the costs assumed -- so an executed
+    plan can be audited against the config it runs under.
+    """
+
+    vehicles: int
+    partitions: int
+    shards: tuple[tuple[int, ...], ...]
+    costs: tuple[float, ...] = ()
+    method: str = "greedy-lpt"
+    seed: int = 0
+    workload: str = "uniform"
+    lookahead_s: float | None = None
+    barrier_s: float | None = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "shards", tuple(tuple(shard) for shard in self.shards)
+        )
+        object.__setattr__(self, "costs", tuple(self.costs))
+        validate_shards(self.shards, self.vehicles, self.partitions)
+        if self.costs and len(self.costs) != self.vehicles:
+            raise ValueError(
+                f"plan carries {len(self.costs)} costs for "
+                f"{self.vehicles} vehicles"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "method": self.method,
+            "seed": self.seed,
+            "vehicles": self.vehicles,
+            "partitions": self.partitions,
+            "workload": self.workload,
+            "lookahead_s": self.lookahead_s,
+            "barrier_s": self.barrier_s,
+            "costs": list(self.costs),
+            "shards": [list(shard) for shard in self.shards],
+        }
+
+    def dumps(self) -> str:
+        """Stable JSON text (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "PartitionPlan":
+        return cls(
+            vehicles=document["vehicles"],
+            partitions=document["partitions"],
+            shards=tuple(tuple(s) for s in document["shards"]),
+            costs=tuple(document.get("costs", ())),
+            method=document.get("method", "greedy-lpt"),
+            seed=document.get("seed", 0),
+            workload=document.get("workload", "uniform"),
+            lookahead_s=document.get("lookahead_s"),
+            barrier_s=document.get("barrier_s"),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "PartitionPlan":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+
+    def shards_for(self, config: "FleetConfig") -> tuple[tuple[int, ...], ...]:
+        """This plan's shards, after checking it matches ``config``."""
+        for name in ("vehicles", "partitions", "workload"):
+            mine, theirs = getattr(self, name), getattr(config, name)
+            if mine != theirs:
+                raise ValueError(
+                    f"plan was emitted for {name}={mine!r} but the config "
+                    f"has {name}={theirs!r}"
+                )
+        return self.shards
+
+
+def validate_shards(shards: Sequence[Sequence[int]], vehicles: int,
+                    partitions: int) -> None:
+    """Shard-assignment contract: every vehicle exactly once; empty OK."""
+    if len(shards) != partitions:
+        raise ValueError(
+            f"plan has {len(shards)} shards for {partitions} partitions"
+        )
+    assigned = [v for shard in shards for v in shard]
+    if sorted(assigned) != list(range(vehicles)):
+        raise ValueError(
+            "plan must assign each of the "
+            f"{vehicles} vehicles to exactly one shard"
+        )
+    for shard in shards:
+        if list(shard) != sorted(set(shard)):
+            raise ValueError("each shard must list vehicles sorted, once")
 
 
 @dataclass(frozen=True)
@@ -68,6 +202,10 @@ class FleetConfig:
         default_factory=tuple
     )
     start_method: str | None = None
+    workload: str = "uniform"
+    #: Explicit shard assignment (e.g. from a :class:`PartitionPlan`);
+    #: ``None`` falls back to round-robin.
+    plan: tuple[tuple[int, ...], ...] | None = None
 
     def __post_init__(self):
         if self.vehicles < 1:
@@ -82,16 +220,31 @@ class FleetConfig:
             raise ValueError("beacon period must be positive")
         if self.barrier_deadline_s <= 0:
             raise ValueError("barrier deadline must be positive")
+        if self.workload not in STYLES:
+            raise ValueError(
+                f"unknown workload style {self.workload!r} "
+                f"(have: {', '.join(sorted(STYLES))})"
+            )
+        if self.plan is not None:
+            object.__setattr__(
+                self, "plan", tuple(tuple(shard) for shard in self.plan)
+            )
+            validate_shards(self.plan, self.vehicles, self.partitions)
         step = self.barrier_step_s
         if step <= 0:
             raise ValueError("barrier step must be positive")
-        if step > self.v2v_latency_s + 1e-12:
+        if step > self.lookahead_s + 1e-12:
             raise ValueError(
                 f"conservative sync violated: barrier step {step} exceeds "
-                f"lookahead (min V2V latency) {self.v2v_latency_s}"
+                f"derived lookahead {self.lookahead_s} (min V2V link latency)"
             )
 
     # -- derived geometry --------------------------------------------------
+
+    @property
+    def lookahead_s(self) -> float:
+        """The cross-partition lookahead this config guarantees."""
+        return self.v2v_latency_s
 
     @property
     def barrier_step_s(self) -> float:
@@ -107,10 +260,21 @@ class FleetConfig:
         return times
 
     def shards(self) -> list[tuple[int, ...]]:
-        """Vehicle indices per partition (round-robin)."""
+        """Vehicle indices per partition (the plan, else round-robin)."""
+        if self.plan is not None:
+            return list(self.plan)
         return shard_vehicles(self.vehicles, self.partitions)
 
     # -- per-vehicle derivations -------------------------------------------
+
+    @property
+    def style(self) -> WorkloadStyle:
+        """The named workload style this fleet runs."""
+        return STYLES[self.workload]
+
+    def service_count(self, index: int) -> int:
+        """Managed service instances vehicle ``index`` runs (style-driven)."""
+        return self.style.service_count(index) if self.with_services else 0
 
     def vehicle_label(self, index: int) -> str:
         """Stable display/trace name for one vehicle."""
@@ -185,8 +349,10 @@ class PartitionSpec:
     straggle_s: tuple[tuple[tuple[int, int], float], ...] = ()
 
     def __post_init__(self):
-        if not self.vehicle_indices:
-            raise ValueError("a partition must own at least one vehicle")
+        # Empty shards are legal (a cost-balanced plan may idle a
+        # partition); the shard just has to be canonical.
+        if list(self.vehicle_indices) != sorted(set(self.vehicle_indices)):
+            raise ValueError("a shard must list vehicles sorted, once")
 
     def straggle_for(self, round_index: int) -> float:
         """Injected wall-clock stall for one round of this partition."""

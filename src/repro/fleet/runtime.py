@@ -181,7 +181,7 @@ class RoundResult:
     partition_hash: str
     vehicle_hashes: dict[int, str] = field(default_factory=dict)
 
-    def to_ack(self) -> RoundAck:
+    def to_ack(self, advance_wall_s: float = 0.0) -> RoundAck:
         """The wire form a worker sends back to the coordinator."""
         return RoundAck(
             round_index=self.round_index,
@@ -191,6 +191,7 @@ class RoundResult:
             vehicle_hashes=self.vehicle_hashes,
             events_fired=self.checkpoint.events_fired,
             queue_depth=self.checkpoint.queue_depth,
+            advance_wall_s=advance_wall_s,
         )
 
 
@@ -227,10 +228,14 @@ class PartitionRuntime:
                 sim=self.sim,
                 label=self.config.vehicle_label(v),
             )
-            if self.config.with_services:
-                scenario.add_service(
-                    make_adas_service(deadline_s=0.6), period_s=1.0
-                )
+            # The workload style decides how many service instances this
+            # vehicle runs; copies get distinct names so the elastic
+            # manager and the reports keep them apart.
+            for copy in range(self.config.service_count(v)):
+                service = make_adas_service(deadline_s=0.6)
+                if copy:
+                    service.name = f"{service.name}#{copy}"
+                scenario.add_service(service, period_s=1.0)
             self.scenarios[v] = scenario
         self._launched = False
 

@@ -127,6 +127,9 @@ class RoundAck:
     vehicle_hashes: dict[int, str]
     events_fired: int
     queue_depth: int
+    #: Wall-clock seconds the worker spent inside ``advance`` this round
+    #: (diagnostic only -- never hashed, so plans stay trace-invariant).
+    advance_wall_s: float = 0.0
 
 
 @dataclass(frozen=True)

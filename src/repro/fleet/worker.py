@@ -78,12 +78,14 @@ def partition_worker_main(conn, spec: PartitionSpec) -> None:
                 stall_s = spec.straggle_for(command.round_index)
                 if stall_s > 0:
                     time.sleep(stall_s)  # vdaplint: disable=DET001,SIM001
+                started = time.perf_counter()  # vdaplint: disable=DET001
                 result = runtime.advance(
                     command.round_index, command.barrier_s, command.inbound
                 )
+                advance_wall_s = time.perf_counter() - started  # vdaplint: disable=DET001
                 if kill is not None and kill.phase == KillPhase.BEFORE_ACK:
                     _self_destruct()
-                pipe.send(result.to_ack())
+                pipe.send(result.to_ack(advance_wall_s=advance_wall_s))
             elif isinstance(command, FinishCmd):
                 reports = runtime.finalize()
                 pipe.send(

@@ -33,10 +33,21 @@ from .sim.core import Simulator
 from .vcu.dsf import DSF
 from .vcu.mhep import MHEP
 
-__all__ = ["ServiceReport", "ScenarioReport", "DriveScenario"]
+__all__ = [
+    "PLANNER_DRIVE_ROOT",
+    "ServiceReport",
+    "ScenarioReport",
+    "DriveScenario",
+]
 
 DSRC_FULL_MBPS = 27.0
 DSRC_DEAD_MBPS = 0.02
+
+#: Planner cost annotation: the qualname suffix of the per-vehicle drive
+#: process this module registers (the nested loop inside ``launch``).
+#: ``repro.analysis.cost`` roots its static "drive" role weight here --
+#: keep it in sync if the control loop moves.
+PLANNER_DRIVE_ROOT = "DriveScenario.launch.control_loop"
 
 
 @dataclass

@@ -16,12 +16,15 @@ from .services import (
     diagnostics_graph,
     infotainment_chunk_graph,
 )
+from .styles import STYLES, WorkloadStyle
 
 __all__ = [
     "DriverProfile",
     "FEATURES",
     "MANEUVERS",
     "STANDARD_MIX",
+    "STYLES",
+    "WorkloadStyle",
     "adas_frame_graph",
     "amber_search_graph",
     "diagnostics_graph",

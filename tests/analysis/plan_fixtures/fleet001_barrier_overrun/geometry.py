@@ -1,0 +1,9 @@
+"""Shared link geometry for the barrier-overrun fixture (cross-module).
+
+The seeded bug lives in ``runner.py``: it imports this latency constant
+but configures a barrier step larger than it.
+"""
+
+__all__ = ["DEFAULT_LATENCY_S"]
+
+DEFAULT_LATENCY_S = 2.0

@@ -1,0 +1,19 @@
+"""FLEET001 seed: barrier step exceeds the link latency it ships with."""
+
+__all__ = ["launch", "bad_geometry", "good_geometry"]
+
+from geometry import DEFAULT_LATENCY_S
+
+
+def launch(barrier_s, v2v_latency_s):
+    return barrier_s + v2v_latency_s
+
+
+def bad_geometry():
+    # 5s barrier over a 2s link: round k traffic is due inside round k.
+    return launch(barrier_s=5.0, v2v_latency_s=DEFAULT_LATENCY_S)  # expect-fleet: FLEET001
+
+
+def good_geometry():
+    # Step at (under) the lookahead: conservative sync holds.
+    return launch(barrier_s=1.5, v2v_latency_s=DEFAULT_LATENCY_S)

@@ -1,0 +1,18 @@
+"""A V2V bus whose link latency is decided at runtime (unprovable)."""
+
+__all__ = ["V2VBus", "read_latency"]
+
+import os
+
+
+def read_latency():
+    return float(os.environ.get("LINK_LATENCY_S", "1.0"))
+
+
+class V2VBus:
+    def __init__(self, latency_s):
+        self.latency_s = latency_s
+        self.outbox = []
+
+    def send(self, dst, payload):
+        self.outbox.append((dst, payload, self.latency_s))

@@ -1,0 +1,23 @@
+"""FLEET002 seed: the cross-partition link latency cannot be resolved.
+
+The bus is constructed with an environment-derived latency, so no static
+lookahead proof exists for the send edge in this process loop.
+"""
+
+__all__ = ["beacon_loop", "main"]
+
+import sim
+
+from bus import V2VBus, read_latency
+
+
+def beacon_loop(simulator):
+    bus = V2VBus(latency_s=read_latency())
+    while True:
+        bus.send(1, "beacon")  # expect-fleet: FLEET002
+        yield simulator.timeout(1.0)
+
+
+def main():
+    simulator = sim.Simulator()
+    simulator.process(beacon_loop(simulator))

@@ -1,0 +1,11 @@
+"""A V2V bus whose link latency is statically zero (the seeded bug)."""
+
+__all__ = ["V2VBus"]
+
+class V2VBus:
+    def __init__(self, latency_s=0.0):
+        self.latency_s = latency_s
+        self.outbox = []
+
+    def send(self, dst, payload):
+        self.outbox.append((dst, payload, self.latency_s))

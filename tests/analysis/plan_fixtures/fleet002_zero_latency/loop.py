@@ -1,0 +1,23 @@
+"""FLEET002 seed: a sim process beacons over a zero-latency link.
+
+Cross-module: the zero default lives in ``bus.py``; the send edge the
+rule anchors on is the call site inside this process loop.
+"""
+
+__all__ = ["beacon_loop", "main"]
+
+import sim
+
+from bus import V2VBus
+
+
+def beacon_loop(simulator):
+    bus = V2VBus()
+    while True:
+        bus.send(1, "beacon")  # expect-fleet: FLEET002
+        yield simulator.timeout(1.0)
+
+
+def main():
+    simulator = sim.Simulator()
+    simulator.process(beacon_loop(simulator))

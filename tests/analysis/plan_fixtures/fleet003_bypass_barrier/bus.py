@@ -1,0 +1,20 @@
+"""A well-configured V2V bus (positive static latency) with barrier-only
+delivery entry points."""
+
+__all__ = ["V2VBus"]
+
+class V2VBus:
+    def __init__(self, latency_s=1.0):
+        self.latency_s = latency_s
+        self.outbox = []
+        self.delivered = []
+
+    def send(self, dst, payload):
+        self.outbox.append((dst, payload, self.latency_s))
+
+    def deliver(self, batch):
+        self.delivered.extend(batch)
+
+    def drain_outbox(self):
+        drained, self.outbox = self.outbox, []
+        return drained

@@ -1,0 +1,25 @@
+"""FLEET003 seed: a sim process drains and delivers the bus itself.
+
+``deliver``/``drain_outbox`` must only run between rounds, with the sim
+clock parked at a barrier; calling them from inside a process loop
+bypasses the coordinator's canonical envelope exchange.
+"""
+
+__all__ = ["greedy_loop", "main"]
+
+import sim
+
+from bus import V2VBus
+
+
+def greedy_loop(simulator):
+    bus = V2VBus()
+    while True:
+        bus.send(1, "beacon")
+        bus.deliver(bus.drain_outbox())  # expect-fleet: FLEET003, FLEET003
+        yield simulator.timeout(1.0)
+
+
+def main():
+    simulator = sim.Simulator()
+    simulator.process(greedy_loop(simulator))

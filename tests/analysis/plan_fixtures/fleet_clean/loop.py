@@ -1,0 +1,27 @@
+"""No findings expected: sends stay latency-bounded inside the process;
+delivery runs only from the barrier-side exchange function (never
+reachable from a sim process root)."""
+
+__all__ = ["beacon_loop", "exchange_at_barrier", "main"]
+
+import sim
+
+from bus import V2VBus
+
+
+def beacon_loop(simulator, bus):
+    while True:
+        bus.send(1, "beacon")
+        yield simulator.timeout(1.0)
+
+
+def exchange_at_barrier(bus):
+    # Called by the coordinator between rounds, not by a sim process.
+    bus.deliver(bus.drain_outbox())
+
+
+def main():
+    simulator = sim.Simulator()
+    bus = V2VBus()
+    simulator.process(beacon_loop(simulator, bus))
+    exchange_at_barrier(bus)

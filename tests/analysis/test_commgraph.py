@@ -1,0 +1,225 @@
+"""Communication-graph extraction: lookahead proofs on the real tree and
+conservative constant resolution on synthetic modules.
+
+The resolver tests pin the conservative contract: a parameter's static
+value is the *minimum* over all resolvable call sites (plus its default),
+and any unprovable flow (``**kwargs``, runtime expressions) poisons the
+answer to unknown rather than guessing.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import CommGraph, ConstResolver, build_graph, is_latency_name
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def graph_for(tmp_path, sources: dict[str, str]):
+    for name, body in sources.items():
+        (tmp_path / name).write_text(body, encoding="utf-8")
+    return build_graph([str(tmp_path)])
+
+
+class TestLatencyNames:
+    def test_accepts_time_dimensioned_spellings(self):
+        # Backed by the unit-inference tier: any ``*_s`` name carries
+        # a time dimension, including the barrier step itself.
+        assert is_latency_name("latency_s")
+        assert is_latency_name("v2v_latency_s")
+        assert is_latency_name("barrier_s")
+
+    def test_rejects_unitless_names(self):
+        assert not is_latency_name("timeout")
+        assert not is_latency_name("payload")
+
+
+class TestConstResolver:
+    def test_param_takes_min_over_call_sites_and_default(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "m.py": (
+                    "def link(latency_s=5.0):\n"
+                    "    return latency_s\n"
+                    "def a():\n"
+                    "    link(latency_s=2.0)\n"
+                    "def b():\n"
+                    "    link(3.0)\n"
+                )
+            },
+        )
+        resolver = ConstResolver(graph)
+        func = graph.functions["m.link"]
+        assert resolver.resolve_param(func, "latency_s") == 2.0
+
+    def test_star_kwargs_call_site_poisons_param(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "m.py": (
+                    "def link(latency_s=5.0):\n"
+                    "    return latency_s\n"
+                    "def a(opts):\n"
+                    "    link(**opts)\n"
+                )
+            },
+        )
+        resolver = ConstResolver(graph)
+        assert resolver.resolve_param(graph.functions["m.link"], "latency_s") is None
+
+    def test_runtime_expression_poisons_param(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "m.py": (
+                    "import os\n"
+                    "def link(latency_s=5.0):\n"
+                    "    return latency_s\n"
+                    "def a():\n"
+                    "    link(latency_s=float(os.environ['L']))\n"
+                )
+            },
+        )
+        resolver = ConstResolver(graph)
+        assert resolver.resolve_param(graph.functions["m.link"], "latency_s") is None
+
+    def test_self_attr_resolves_from_ctor_assignment(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "m.py": (
+                    "class Bus:\n"
+                    "    def __init__(self):\n"
+                    "        self.latency_s = 1.5\n"
+                )
+            },
+        )
+        resolver = ConstResolver(graph)
+        assert resolver.resolve_class_attr("m.Bus", "latency_s") == 1.5
+
+    def test_conflicting_attr_owners_stay_unknown(self, tmp_path):
+        # Two classes define the same attr with different values: an
+        # unqualified attr read must not pick one arbitrarily.
+        graph = graph_for(
+            tmp_path,
+            {
+                "m.py": (
+                    "class A:\n"
+                    "    def __init__(self):\n"
+                    "        self.latency_s = 1.0\n"
+                    "class B:\n"
+                    "    def __init__(self):\n"
+                    "        self.latency_s = 2.0\n"
+                )
+            },
+        )
+        resolver = ConstResolver(graph)
+        assert resolver.resolve_class_attr("m.A", "latency_s") == 1.0
+        assert resolver.resolve_class_attr("m.B", "latency_s") == 2.0
+
+
+class TestCommGraphSynthetic:
+    BUS = (
+        "class V2VBus:\n"
+        "    def __init__(self, latency_s=1.0):\n"
+        "        self.latency_s = latency_s\n"
+        "    def send(self, dst, payload):\n"
+        "        return (dst, payload, self.latency_s)\n"
+        "    def deliver(self, batch):\n"
+        "        return batch\n"
+    )
+
+    def test_lookahead_is_min_edge_latency(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "bus.py": self.BUS,
+                "loop.py": (
+                    "import sim\n"
+                    "from bus import V2VBus\n"
+                    "def fast(simulator):\n"
+                    "    bus = V2VBus(latency_s=0.25)\n"
+                    "    while True:\n"
+                    "        bus.send(1, 'x')\n"
+                    "        yield simulator.timeout(1.0)\n"
+                    "def slow(simulator):\n"
+                    "    bus = V2VBus(latency_s=4.0)\n"
+                    "    while True:\n"
+                    "        bus.send(2, 'y')\n"
+                    "        yield simulator.timeout(1.0)\n"
+                    "def main():\n"
+                    "    simulator = sim.Simulator()\n"
+                    "    simulator.process(fast(simulator))\n"
+                    "    simulator.process(slow(simulator))\n"
+                ),
+            },
+        )
+        comm = CommGraph(graph)
+        value, reason = comm.lookahead()
+        assert value == 0.25
+        assert "2 send edge(s)" in reason
+
+    def test_non_process_code_contributes_no_edges(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "bus.py": self.BUS,
+                "tool.py": (
+                    "from bus import V2VBus\n"
+                    "def offline():\n"
+                    "    bus = V2VBus(latency_s=0.0)\n"
+                    "    bus.send(1, 'x')\n"
+                ),
+            },
+        )
+        comm = CommGraph(graph)
+        assert comm.send_edges() == []
+        value, reason = comm.lookahead()
+        assert value is None
+        assert "no cross-partition send edges" in reason
+
+    def test_debug_dict_is_stable_and_sorted(self, tmp_path):
+        sources = {
+            "bus.py": self.BUS,
+            "loop.py": (
+                "import sim\n"
+                "from bus import V2VBus\n"
+                "def loop(simulator):\n"
+                "    bus = V2VBus(latency_s=2.0)\n"
+                "    while True:\n"
+                "        bus.send(1, 'x')\n"
+                "        yield simulator.timeout(1.0)\n"
+                "def main():\n"
+                "    simulator = sim.Simulator()\n"
+                "    simulator.process(loop(simulator))\n"
+            ),
+        }
+        first = CommGraph(graph_for(tmp_path, sources)).to_debug_dict()
+        second = CommGraph(graph_for(tmp_path, sources)).to_debug_dict()
+        assert first == second
+        assert first["lookahead_s"] == 2.0
+        edges = first["edges"]
+        assert edges == sorted(edges, key=lambda e: (e["site"], e["root"], e["sink"]))
+
+
+class TestCommGraphRealTree:
+    @pytest.fixture(scope="class")
+    def comm(self):
+        return CommGraph(build_graph([SRC_REPRO]))
+
+    def test_lookahead_proved_from_fleet_config_default(self, comm):
+        value, reason = comm.lookahead()
+        assert value == 1.0
+        assert "min link latency" in reason
+
+    def test_send_edges_are_latency_bounded(self, comm):
+        edges = comm.send_edges()
+        assert edges
+        assert all(e.latency_s and e.latency_s > 0 for e in edges)
+
+    def test_barrier_only_sinks_not_reached_from_processes(self, comm):
+        bypasses = [e for e in comm.edges if e.barrier_only]
+        assert bypasses == []

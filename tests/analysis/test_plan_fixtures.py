@@ -1,0 +1,114 @@
+"""Annotated fleet-planner fixture corpus: every FLEET rule fires on its
+seeded misconfiguration and stays silent on the idiomatic counterpart.
+
+Each subdirectory under ``plan_fixtures/`` is a tiny two-module program
+(bus + sim loop) analyzed whole-directory, because the FLEET rules need
+the communication graph -- receiver types, process roots, and latency
+proofs cross module boundaries.  ``# expect-fleet: RULE`` annotations
+state the exact finding set per directory; extra findings are failures
+too.  The corpus root holds a ``.vdaplint-skip`` marker so repo-wide
+lint sweeps do not trip over the deliberate violations.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.analysis import (
+    SKIP_MARKER,
+    CommGraph,
+    FleetPlanAnalyzer,
+    build_graph,
+)
+from repro.analysis.plan import FLEET_RULE_CLASSES
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "plan_fixtures")
+
+EXPECT_RE = re.compile(r"#\s*expect-fleet:\s*([A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)")
+
+
+def fixture_dirs() -> list[str]:
+    return sorted(
+        os.path.join(FIXTURE_DIR, name)
+        for name in os.listdir(FIXTURE_DIR)
+        if os.path.isdir(os.path.join(FIXTURE_DIR, name))
+    )
+
+
+def expected_findings(dirpath: str) -> set[tuple[str, int, str]]:
+    expected = set()
+    for name in sorted(os.listdir(dirpath)):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(dirpath, name), encoding="utf-8") as fh:
+            source = fh.read()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = EXPECT_RE.search(text)
+            if not match:
+                continue
+            for rule_id in match.group(1).split(","):
+                expected.add((name, lineno, rule_id.strip()))
+    return expected
+
+
+def analyze(dirpath: str) -> set[tuple[str, int, str]]:
+    graph = build_graph([dirpath])
+    findings = FleetPlanAnalyzer(graph).analyze(CommGraph(graph))
+    return {(os.path.basename(f.path), f.line, f.rule) for f in findings}
+
+
+@pytest.mark.parametrize(
+    "dirpath", fixture_dirs(), ids=[os.path.basename(d) for d in fixture_dirs()]
+)
+def test_fixture_matches_annotations(dirpath):
+    expected = expected_findings(dirpath)
+    actual = analyze(dirpath)
+    missing = expected - actual
+    unexpected = actual - expected
+    assert not missing, f"{dirpath}: annotated findings did not fire: {missing}"
+    assert not unexpected, f"{dirpath}: unannotated findings fired: {unexpected}"
+
+
+def test_clean_fixture_has_no_annotations():
+    """``fleet_clean`` is the zero-findings control, by construction."""
+    assert expected_findings(os.path.join(FIXTURE_DIR, "fleet_clean")) == set()
+
+
+def test_corpus_exercises_every_rule():
+    """Every shipped FLEET rule must fire somewhere in the corpus."""
+    shipped = {cls.id for cls in FLEET_RULE_CLASSES}
+    fired = set()
+    for dirpath in fixture_dirs():
+        fired.update(rule for _name, _line, rule in analyze(dirpath))
+    assert shipped <= fired, f"rules with no firing fixture: {shipped - fired}"
+
+
+def test_corpus_is_skip_marked():
+    """The fixture corpus must opt out of directory-walk discovery."""
+    assert os.path.exists(os.path.join(FIXTURE_DIR, SKIP_MARKER))
+
+
+def test_pragma_suppresses_fleet_finding(tmp_path):
+    """FLEET findings honor the standard vdaplint pragmas."""
+    bug = (
+        "import sim\n"
+        "\n"
+        "class V2VBus:\n"
+        "    def __init__(self, latency_s=0.0):\n"
+        "        self.latency_s = latency_s\n"
+        "    def send(self, dst, payload):\n"
+        "        return (dst, payload, self.latency_s)\n"
+        "\n"
+        "def loop(simulator):\n"
+        "    bus = V2VBus()\n"
+        "    while True:\n"
+        "        bus.send(1, 'x')  # vdaplint: disable=FLEET002\n"
+        "        yield simulator.timeout(1.0)\n"
+        "\n"
+        "def main():\n"
+        "    simulator = sim.Simulator()\n"
+        "    simulator.process(loop(simulator))\n"
+    )
+    (tmp_path / "hot.py").write_text(bug, encoding="utf-8")
+    assert analyze(str(tmp_path)) == set()

@@ -10,6 +10,7 @@ so a version bump anywhere forces re-analysis.
 
 from repro.analysis import IncrementalAnalyzer, catalogue_fingerprint
 from repro.analysis.perf import HotLoopAllocRule
+from repro.analysis.plan import BarrierExceedsLookahead, FLEET_RULE_CLASSES
 from repro.analysis.rules import RULE_CLASSES
 
 
@@ -28,6 +29,23 @@ def test_catalogue_fingerprint_tracks_pack_versions(monkeypatch):
     before = catalogue_fingerprint()
     monkeypatch.setattr(HotLoopAllocRule, "version", HotLoopAllocRule.version + 1)
     assert catalogue_fingerprint() != before
+
+
+def test_catalogue_fingerprint_tracks_fleet_pack(monkeypatch):
+    """The FLEET pack rides the same invalidation channel as PERF/MP: a
+    planner rule edit must flush warm ``--plan --cache`` runs."""
+    before = catalogue_fingerprint()
+    monkeypatch.setattr(
+        BarrierExceedsLookahead, "version", BarrierExceedsLookahead.version + 1
+    )
+    assert catalogue_fingerprint() != before
+
+
+def test_fleet_rules_carry_versioned_ids():
+    for cls in FLEET_RULE_CLASSES:
+        rule = cls()
+        assert rule.id.startswith("FLEET")
+        assert isinstance(rule.version, int) and rule.version >= 1
 
 
 def test_pack_version_bump_invalidates_warm_cache(tmp_path, monkeypatch):

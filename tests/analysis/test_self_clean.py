@@ -10,6 +10,8 @@ import os
 
 import repro
 from repro.analysis import (
+    CommGraph,
+    FleetPlanAnalyzer,
     IncrementalAnalyzer,
     MpAnalyzer,
     PerfAnalyzer,
@@ -54,6 +56,31 @@ def test_perf_tier_reports_zero_violations_on_src_repro():
     )
     assert not findings, (
         f"perf analysis found violations in src/repro:\n{rendered}"
+    )
+
+
+def test_fleet_tier_reports_zero_violations_on_runtime_trees():
+    """FLEET must be clean on every tree the fleet actually runs from:
+    the library, the benchmarks, and the examples.  The barrier geometry
+    is provably safe (lookahead 1.0s from the FleetConfig default) and no
+    sim process reaches a barrier-only delivery entry point."""
+    src_root = repro_source_root()
+    repo_root = os.path.dirname(os.path.dirname(src_root))
+    trees = [
+        src_root,
+        os.path.join(repo_root, "benchmarks"),
+        os.path.join(repo_root, "examples"),
+    ]
+    graph = build_graph(trees)
+    comm = CommGraph(graph)
+    lookahead, reason = comm.lookahead()
+    assert lookahead == 1.0, reason
+    findings = FleetPlanAnalyzer(graph).analyze(comm)
+    rendered = "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in findings
+    )
+    assert not findings, (
+        f"fleet planner found violations in runtime trees:\n{rendered}"
     )
 
 

@@ -24,6 +24,35 @@ class TestShardVehicles:
         with pytest.raises(ValueError):
             shard_vehicles(2, 3)
 
+    def test_lpt_isolates_the_heavies(self):
+        # Two heavy vehicles at 0 and 4 (the skewed-style shape): LPT
+        # gives each its own partition and splits the rest.
+        costs = [3.0, 1.0, 1.0, 1.0, 3.0, 1.0, 1.0, 1.0]
+        assert shard_vehicles(8, 4, costs) == [
+            (0,), (4,), (1, 3, 6), (2, 5, 7)]
+
+    def test_lpt_may_leave_a_partition_empty(self):
+        # Zero-cost vehicles pile onto the lowest-index zero-load
+        # partition, legally idling the last one.
+        shards = shard_vehicles(3, 3, [1.0, 0.0, 0.0])
+        assert shards == [(0,), (1, 2), ()]
+
+    def test_lpt_uniform_costs_reduce_to_balanced_counts(self):
+        shards = shard_vehicles(8, 4, [1.0] * 8)
+        assert sorted(len(s) for s in shards) == [2, 2, 2, 2]
+        assert sorted(v for s in shards for v in s) == list(range(8))
+
+    def test_lpt_ties_break_by_lowest_index(self):
+        first = shard_vehicles(6, 2, [2.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        assert first == shard_vehicles(6, 2, [2.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        assert first[0][0] == 0
+
+    def test_cost_length_and_sign_validated(self):
+        with pytest.raises(ValueError, match="one cost per vehicle"):
+            shard_vehicles(4, 2, [1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            shard_vehicles(2, 2, [1.0, -0.5])
+
 
 class TestBarriers:
     def test_default_step_is_the_lookahead(self):
@@ -53,6 +82,13 @@ class TestBarriers:
 
     def test_step_beyond_lookahead_rejected(self):
         with pytest.raises(ValueError, match="conservative sync"):
+            FleetConfig(vehicles=2, partitions=1, v2v_latency_s=1.0,
+                        barrier_s=1.5)
+
+    def test_rejection_names_the_derived_lookahead(self):
+        # The error must teach the fix: it states the derived lookahead
+        # (and its provenance) next to the offending step.
+        with pytest.raises(ValueError, match=r"derived lookahead 1\.0"):
             FleetConfig(vehicles=2, partitions=1, v2v_latency_s=1.0,
                         barrier_s=1.5)
 
@@ -125,12 +161,59 @@ class TestPartitionSpec:
         clone = pickle.loads(pickle.dumps(spec))
         assert clone == spec
 
-    def test_empty_shard_rejected(self):
+    def test_empty_shard_allowed(self):
+        # A cost-balanced plan may idle a partition entirely.
         cfg = FleetConfig(vehicles=2, partitions=1)
-        with pytest.raises(ValueError):
-            PartitionSpec(config=cfg, partition=0, vehicle_indices=())
+        spec = PartitionSpec(config=cfg, partition=0, vehicle_indices=())
+        assert spec.vehicle_indices == ()
+
+    def test_unsorted_or_duplicate_shard_rejected(self):
+        cfg = FleetConfig(vehicles=4, partitions=2)
+        with pytest.raises(ValueError, match="sorted, once"):
+            PartitionSpec(config=cfg, partition=0, vehicle_indices=(2, 0))
+        with pytest.raises(ValueError, match="sorted, once"):
+            PartitionSpec(config=cfg, partition=0, vehicle_indices=(1, 1))
 
     def test_vehicle_seeds_distinct(self):
         cfg = FleetConfig(seed=7, vehicles=16, partitions=2)
         seeds = {cfg.vehicle_seed(v) for v in range(16)}
         assert len(seeds) == 16
+
+
+class TestWorkloadStyles:
+    def test_uniform_is_the_default(self):
+        cfg = FleetConfig(vehicles=4, partitions=2)
+        assert cfg.workload == "uniform"
+        assert [cfg.service_count(v) for v in range(4)] == [1, 1, 1, 1]
+
+    def test_skewed_loads_every_fourth_vehicle(self):
+        cfg = FleetConfig(vehicles=8, partitions=4, workload="skewed")
+        counts = [cfg.service_count(v) for v in range(8)]
+        assert counts == [7, 1, 1, 1, 7, 1, 1, 1]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            FleetConfig(vehicles=2, partitions=1, workload="chaotic")
+
+
+class TestConfigPlan:
+    def test_plan_overrides_round_robin_shards(self):
+        cfg = FleetConfig(vehicles=4, partitions=2,
+                          plan=((0,), (1, 2, 3)))
+        assert cfg.shards() == [(0,), (1, 2, 3)]
+        assert cfg.spec_for(0).vehicle_indices == (0,)
+        assert cfg.spec_for(1).vehicle_indices == (1, 2, 3)
+
+    def test_plan_lists_are_normalized_to_tuples(self):
+        cfg = FleetConfig(vehicles=4, partitions=2, plan=[[0], [1, 2, 3]])
+        assert cfg.plan == ((0,), (1, 2, 3))
+
+    @pytest.mark.parametrize("plan", [
+        ((0,), (1, 2)),            # vehicle 3 unassigned
+        ((0,), (1, 2, 3), ()),     # wrong partition count
+        ((0, 1), (1, 2, 3)),       # vehicle 1 assigned twice
+        ((1, 0), (2, 3)),          # unsorted shard
+    ])
+    def test_invalid_plans_rejected(self, plan):
+        with pytest.raises(ValueError):
+            FleetConfig(vehicles=4, partitions=2, plan=plan)

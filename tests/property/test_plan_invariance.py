@@ -1,0 +1,64 @@
+"""Property-based tests (hypothesis) for partition-plan invariance.
+
+The planner's safety contract: a partition plan is *shard geometry*, not
+behaviour.  Whatever costs the planner believed and however unevenly it
+sharded -- including empty shards -- every vehicle's event-trace hash and
+the merged metrics must be byte-identical to the single-process
+reference.  Hypothesis sweeps random cost vectors and partition counts;
+``shard_vehicles`` turns them into LPT plans and ``run_inline`` executes
+the full coordinator round protocol in one process, so examples stay
+cheap enough to sweep.
+"""
+
+from dataclasses import replace
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import FleetConfig, run_inline, run_single_process, shard_vehicles
+
+BASE = FleetConfig(seed=13, vehicles=6, partitions=1, duration_s=3.0)
+
+
+@lru_cache(maxsize=4)
+def reference(workload: str):
+    return run_single_process(replace(BASE, workload=workload))
+
+
+costs_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    min_size=BASE.vehicles, max_size=BASE.vehicles,
+)
+
+
+@given(
+    costs=costs_strategy,
+    partitions=st.integers(min_value=1, max_value=4),
+    workload=st.sampled_from(["uniform", "skewed"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_any_cost_balanced_plan_reproduces_the_reference(
+    costs, partitions, workload
+):
+    plan = tuple(shard_vehicles(BASE.vehicles, partitions, costs))
+    config = replace(BASE, partitions=partitions, plan=plan,
+                     workload=workload)
+    result = run_inline(config)
+    golden = reference(workload)
+    assert result.vehicle_hashes == golden.vehicle_hashes
+    assert result.metrics == golden.metrics
+    assert result.stats.events_fired == golden.stats.events_fired
+
+
+@given(partitions=st.integers(min_value=1, max_value=4))
+@settings(max_examples=4, deadline=None)
+def test_round_robin_and_planned_runs_agree(partitions):
+    rr = run_inline(replace(BASE, partitions=partitions))
+    planned = run_inline(replace(
+        BASE, partitions=partitions,
+        plan=tuple(shard_vehicles(BASE.vehicles, partitions,
+                                  [1.0] * BASE.vehicles)),
+    ))
+    assert rr.vehicle_hashes == planned.vehicle_hashes
+    assert rr.metrics == planned.metrics
