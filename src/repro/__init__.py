@@ -20,10 +20,6 @@ A full-stack, simulation-backed reproduction of Zhang et al., ICDCS 2018:
   tracer (Chrome-trace export), benchmark reports
 * :mod:`repro.workloads` -- workload generators
 * :mod:`repro.analysis` -- the ``vdaplint`` determinism & safety linter
-
-``repro.metrics`` is a deprecated shim over :mod:`repro.obs` and is
-imported lazily so the shim's ``DeprecationWarning`` only fires for code
-that still reaches for it.
 """
 
 __version__ = "1.0.0"
@@ -31,18 +27,7 @@ __version__ = "1.0.0"
 from . import analysis, apps, ddi, edgeos, faults, fleet, hw, libvdap, net, nn, obs, offload
 from . import scenario, sim, topology, vcu, vision, workloads
 
-
-def __getattr__(name: str):
-    """PEP 562 lazy import of the deprecated ``repro.metrics`` shim."""
-    if name == "metrics":
-        import importlib
-
-        return importlib.import_module(".metrics", __name__)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-# `metrics` resolves through the PEP 562 __getattr__ above, which the
-# static __all__ honesty check cannot see.
-__all__ = [  # vdaplint: disable=API001
+__all__ = [
     "__version__",
     "analysis",
     "apps",
@@ -52,7 +37,6 @@ __all__ = [  # vdaplint: disable=API001
     "fleet",
     "hw",
     "libvdap",
-    "metrics",
     "net",
     "nn",
     "obs",

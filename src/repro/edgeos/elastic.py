@@ -32,7 +32,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..offload.placement import PlacementEvaluation, evaluate_placement
+from ..offload.placement import (
+    CompiledPlacement,
+    PlacementEvaluation,
+    compile_placement,
+)
 from ..topology.world import World
 from .service import Pipeline, PolymorphicService, ServiceState
 from .watchdog import HealthWatchdog
@@ -79,6 +83,10 @@ class ElasticManager:
         self.degrade_before_hang = degrade_before_hang
         self._services: dict[str, PolymorphicService] = {}
         self.switch_log: list[PipelineChoice] = []
+        # (service, pipeline) -> (graph_factory, world, compiled plan).
+        # Retune re-scores every pipeline every tick against a structurally
+        # constant graph; the compiled plan re-reads only live link state.
+        self._compiled: dict[tuple[str, str], tuple] = {}
 
     def register(self, service: PolymorphicService) -> None:
         if service.name in self._services:
@@ -88,6 +96,8 @@ class ElasticManager:
     def unregister(self, name: str) -> PolymorphicService:
         if name not in self._services:
             raise KeyError(f"unknown service {name!r}")
+        for key in [k for k in self._compiled if k[0] == name]:
+            del self._compiled[key]
         return self._services.pop(name)
 
     def service(self, name: str) -> PolymorphicService:
@@ -110,6 +120,35 @@ class ElasticManager:
             return True
         return all(health.tier_healthy(tier) for tier in pipeline.assignment.values())
 
+    def _compiled_for(
+        self,
+        service: PolymorphicService,
+        pipeline: Pipeline,
+        world: World,
+        graph_cache: list,
+    ) -> CompiledPlacement:
+        """The (cached) compiled plan for one pipeline of a service.
+
+        Recompiles when the service's graph factory was swapped, the world
+        changed identity, or a resolved node's processor set changed.  The
+        graph is built at most once per call batch via ``graph_cache`` (a
+        one-slot list), since compilation is its only remaining consumer.
+        """
+        key = (service.name, pipeline.name)
+        cached = self._compiled.get(key)
+        if (
+            cached is not None
+            and cached[0] is service.graph_factory
+            and cached[1] is world
+            and cached[2].fresh
+        ):
+            return cached[2]
+        if not graph_cache:
+            graph_cache.append(service.graph_factory())
+        compiled = compile_placement(graph_cache[0], pipeline.placement(), world)
+        self._compiled[key] = (service.graph_factory, world, compiled)
+        return compiled
+
     def evaluate_pipelines(
         self,
         service: PolymorphicService,
@@ -121,12 +160,14 @@ class ElasticManager:
         Pipelines placing work on a tier the watchdog marks unhealthy are
         excluded entirely -- failover happens by scoring only survivors.
         """
-        graph = service.graph_factory()
+        graph_cache: list = []
         out = {}
         for pipeline in service.pipelines:
             if not self._pipeline_healthy(pipeline, health):
                 continue
-            out[pipeline.name] = evaluate_placement(graph, pipeline.placement(), world)
+            out[pipeline.name] = self._compiled_for(
+                service, pipeline, world, graph_cache
+            ).evaluate()
         return out
 
     def _pick(

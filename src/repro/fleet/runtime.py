@@ -203,7 +203,7 @@ class PartitionRuntime:
         self.spec = spec
         self.config = spec.config
         self.collector = Collector()
-        self.sim = Simulator(obs=self.collector)
+        self.sim = Simulator(obs=self.collector, queue=self.config.scheduler)
         self.sanitizer = DeterminismSanitizer(self.sim, keep_records=False)
         self.bus = V2VBus(
             self.sim,

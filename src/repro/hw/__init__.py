@@ -1,6 +1,7 @@
-"""Hardware substrate: processor, storage, and energy models."""
+"""Hardware substrate: processor, storage, energy and accounting models."""
 
 from . import catalog
+from .accounting import TaskAccounting
 from .energy import EnergyMeter, EVBattery
 from .processor import ProcessorKind, ProcessorModel, WorkloadClass
 from .storage import SSDModel
@@ -11,6 +12,7 @@ __all__ = [
     "ProcessorKind",
     "ProcessorModel",
     "SSDModel",
+    "TaskAccounting",
     "WorkloadClass",
     "catalog",
 ]

@@ -26,7 +26,7 @@ import math
 import numpy as np
 
 from ..obs.recorder import NULL_RECORDER, Recorder
-from .channel import GilbertElliott
+from .channel import ExactDraws, gilbert_elliott_for
 from .params import LTEParams
 
 __all__ = ["CellularUplink"]
@@ -35,8 +35,11 @@ __all__ = ["CellularUplink"]
 class CellularUplink:
     """Stateful per-packet uplink simulator.
 
-    Call :meth:`send_packet` once per packet in time order; the object
-    tracks serving cell, handoff outages, and the loss channel.
+    Call :meth:`send_packet` once per packet in time order -- or
+    :meth:`send_packets` with a whole time-ordered batch -- and the object
+    tracks serving cell, handoff outages, and the loss channel.  The two
+    entry points are outcome- and RNG-stream-equivalent and may be mixed
+    freely on one uplink.
     """
 
     def __init__(
@@ -51,7 +54,7 @@ class CellularUplink:
         self._serving_cell: int | None = None
         self._outage_until = -math.inf
         self._ramp_start = -math.inf
-        self._channel = GilbertElliott(
+        self._channel = gilbert_elliott_for(
             rng, loss_rate=params.base_loss, burst_length=params.burst_base_packets,
             obs=self.obs, link="lte",
         )
@@ -148,3 +151,166 @@ class CellularUplink:
         )
         self._channel.retune(stationary, burst_length=self.params.burst_length(speed_mps))
         return not self._channel.step()
+
+    # -- batched dynamics ---------------------------------------------------
+
+    def send_packets(
+        self,
+        times: np.ndarray,
+        positions: np.ndarray,
+        speed_mps: float,
+        offered_bitrate_mbps: float,
+    ) -> np.ndarray:
+        """Send a time-ordered packet batch; returns a bool DELIVERED array.
+
+        Equivalent to calling :meth:`send_packet` once per element, but the
+        per-packet work is restructured for batch execution: geometry
+        (serving cell, edge degradation, capacity) and the grant ramp are
+        computed as numpy arrays over handoff-delimited segments, the loss
+        channel is retuned once (speed and offered bitrate are constant
+        across the batch, so every packet would retune to the same
+        parameters), and instrumentation counters are flushed once per
+        batch.  RNG draw order is preserved exactly -- the grant draw and
+        the channel's transition/residual draws are consumed through one
+        :class:`~repro.net.channel.ExactDraws` stream in scalar order, so
+        per-packet outcomes and the final generator state are identical to
+        the scalar path.  (Sole caveat: numpy evaluates the ``z**6``
+        cell-edge term with a different pow kernel than CPython; a 1-ulp
+        capacity difference could flip a grant decision only when a
+        uniform draw lands within 1 ulp of the threshold, which the
+        byte-identity gates on the committed drive results check.)
+        """
+        if offered_bitrate_mbps <= 0:
+            raise ValueError("offered bitrate must be positive")
+        times = np.ascontiguousarray(times, dtype=float)
+        positions = np.ascontiguousarray(positions, dtype=float)
+        if times.shape != positions.shape or times.ndim != 1:
+            raise ValueError("times and positions must be matching 1-D arrays")
+        n = times.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        params = self.params
+        obs = self.obs
+        spacing = params.bs_spacing_m
+
+        # Geometry, vectorized (same arithmetic as cell_of/local_capacity).
+        cells = np.floor(positions / spacing + 0.5).astype(np.int64)
+        z = np.minimum(1.0, np.abs(positions - cells * spacing) / (spacing / 2.0))
+        capacity = params.uplink_capacity_mbps * (1.0 - 0.70 * z**6)
+
+        # Attach / handoffs: serving-cell state changes only at cell
+        # boundaries, so outage and ramp state are piecewise constant over
+        # handoff-delimited segments.
+        if self._serving_cell is None:
+            self._serving_cell = int(cells[0])
+            self._ramp_start = float(times[0]) - params.grant_ramp_s  # pre-attached
+        prev_cells = np.empty_like(cells)
+        prev_cells[0] = self._serving_cell
+        prev_cells[1:] = cells[:-1]
+        handoffs = np.flatnonzero(cells != prev_cells)
+        # Constant per batch: the gap depends only on speed (scalar libm
+        # exp, bit-identical to the per-packet path).
+        gap = self.handoff_interruption_s(speed_mps) if handoffs.size else 0.0
+
+        outage = np.empty(n, dtype=bool)
+        granted = np.empty(n, dtype=float)
+        ramp = params.grant_ramp_s
+        segment_start = 0
+        bounds = handoffs.tolist()
+        bounds.append(n)
+        for next_handoff in bounds:
+            if segment_start < next_handoff:
+                seg = slice(segment_start, next_handoff)
+                seg_times = times[seg]
+                outage[seg] = seg_times < self._outage_until
+                elapsed = seg_times - self._ramp_start
+                seg_cap = capacity[seg]
+                granted[seg] = np.where(
+                    elapsed < ramp, seg_cap * elapsed / ramp, seg_cap
+                )
+            if next_handoff == n:
+                break
+            h = next_handoff
+            t = float(times[h])
+            self._serving_cell = int(cells[h])
+            self.handoff_count += 1
+            self._outage_until = t + gap
+            self._ramp_start = self._outage_until
+            if obs.enabled:
+                obs.count("net.handoffs", link="lte")
+                obs.observe("net.handoff_gap_s", gap, link="lte")
+                obs.instant("net.handoff", ts=t, track="net", cell=self._serving_cell)
+            segment_start = h
+
+        outage_drops = int(outage.sum())
+        if outage_drops:
+            obs.count("net.outage_drops", outage_drops, link="lte")
+
+        # Mechanism 4 parameters are constant across the batch; the scalar
+        # path retunes to these same values before every step it takes.
+        utilization = min(
+            1.0, offered_bitrate_mbps / params.uplink_capacity_mbps
+        )
+        stationary = min(
+            0.5,
+            params.base_loss
+            + params.congestion_loss_coeff * utilization**3
+            + params.fading_loss_coeff
+            * (speed_mps / params.fading_speed_ref_mps)
+            * utilization**2,
+        )
+        channel = self._channel
+        channel.retune(stationary, burst_length=params.burst_length(speed_mps))
+
+        # Per-packet decisions: one shared exact-order draw stream for the
+        # grant lottery and the channel's transition/residual draws (the
+        # uplink and its channel share one generator).
+        todo = np.flatnonzero(~outage).tolist()
+        needs_grant_draw = (granted < offered_bitrate_mbps).tolist()
+        drop_probability = (1.0 - granted / offered_bitrate_mbps).tolist()
+        delivered = np.zeros(n, dtype=bool)
+        draws = ExactDraws(self.rng)
+        bad = channel.bad
+        p_gb = channel.p_gb
+        p_bg = channel.p_bg
+        residual = channel.residual_good_loss
+        remaining = len(todo)
+        grant_drops = 0
+        bursts = 0
+        channel_packets = 0
+        channel_losses = 0
+        for i in todo:
+            # Every remaining non-outage packet consumes at least one draw.
+            if needs_grant_draw[i]:
+                if draws.take(remaining) < drop_probability[i]:
+                    grant_drops += 1
+                    remaining -= 1
+                    continue
+            if bad:
+                if draws.take(remaining) < p_bg:
+                    bad = False
+            else:
+                if draws.take(remaining) < p_gb:
+                    bad = True
+                    bursts += 1
+            if bad:
+                lost = True
+            else:
+                lost = draws.take(remaining) < residual
+            remaining -= 1
+            channel_packets += 1
+            if lost:
+                channel_losses += 1
+            else:
+                delivered[i] = True
+        channel.bad = bad
+
+        if grant_drops:
+            obs.count("net.grant_drops", grant_drops, link="lte")
+        if bursts:
+            obs.count("net.channel_bursts", bursts, link=channel.link)
+        if obs.enabled and channel_packets:
+            obs.count("net.channel_packets", channel_packets, link=channel.link)
+            if channel_losses:
+                obs.count("net.channel_losses", channel_losses, link=channel.link)
+        return delivered

@@ -17,7 +17,39 @@ import numpy as np
 
 from ..obs.recorder import NULL_RECORDER, Recorder
 
-__all__ = ["LinkModel", "GilbertElliott", "gilbert_elliott_for"]
+__all__ = ["ExactDraws", "LinkModel", "GilbertElliott", "gilbert_elliott_for"]
+
+
+class ExactDraws:
+    """Uniform draws in blocks, with scalar-stream-exact consumption.
+
+    Batch channel code cannot know up front how many uniforms it will
+    consume (state machines branch on the draws themselves), and drawing
+    too many would leave ``rng`` in a different state than the equivalent
+    sequence of scalar ``rng.random()`` calls -- silently desynchronizing
+    every later consumer of the generator.  ``take(min_remaining)`` refills
+    the buffer with a *proven lower bound* of the draws still to come, so
+    every drawn value is eventually consumed and the generator finishes in
+    exactly the scalar-path state.  (numpy guarantees ``rng.random(n)``
+    yields the same values as ``n`` scalar calls.)
+    """
+
+    __slots__ = ("rng", "_buf", "_pos")
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self._buf = ()
+        self._pos = 0
+
+    def take(self, min_remaining: int) -> float:
+        """Next uniform; ``min_remaining`` counts this draw plus a lower
+        bound on the draws guaranteed to follow it."""
+        if self._pos >= len(self._buf):
+            self._buf = self.rng.random(min_remaining if min_remaining > 1 else 1)
+            self._pos = 0
+        value = self._buf[self._pos]
+        self._pos += 1
+        return value
 
 
 @dataclass
@@ -129,6 +161,53 @@ class GilbertElliott:
                 self.obs.count("net.channel_losses", link=self.link)
         return lost
 
+    def step_many(self, n: int) -> np.ndarray:
+        """Advance ``n`` packet slots at once; returns a bool loss array.
+
+        Produces exactly the losses -- and leaves both the chain *and* the
+        generator in exactly the state -- that ``n`` successive
+        :meth:`step` calls would, while paying the RNG and instrumentation
+        costs once per batch instead of once per packet.  Draw order is
+        preserved via :class:`ExactDraws`: one transition uniform per slot,
+        plus one residual-loss uniform only in the Good state (the scalar
+        path's short-circuit).
+        """
+        if n < 0:
+            raise ValueError(f"slot count must be non-negative, got {n}")
+        lost = np.empty(n, dtype=bool)
+        if n == 0:
+            return lost
+        draws = ExactDraws(self.rng)
+        bad = self.bad
+        p_gb = self.p_gb
+        p_bg = self.p_bg
+        residual = self.residual_good_loss
+        bursts = 0
+        for i in range(n):
+            # Every remaining slot consumes at least its transition draw.
+            remaining = n - i
+            if bad:
+                if draws.take(remaining) < p_bg:
+                    bad = False
+            else:
+                if draws.take(remaining) < p_gb:
+                    bad = True
+                    bursts += 1
+            if bad:
+                lost[i] = True
+            else:
+                lost[i] = draws.take(remaining) < residual
+        self.bad = bad
+        obs = self.obs
+        if bursts:
+            obs.count("net.channel_bursts", bursts, link=self.link)
+        if obs.enabled:
+            obs.count("net.channel_packets", n, link=self.link)
+            losses = int(lost.sum())
+            if losses:
+                obs.count("net.channel_losses", losses, link=self.link)
+        return lost
+
     def retune(self, loss_rate: float, burst_length: float | None = None) -> None:
         """Update stationary loss rate (and burst length) in place."""
         if not 0.0 <= loss_rate < 1.0:
@@ -143,7 +222,26 @@ class GilbertElliott:
 
 
 def gilbert_elliott_for(
-    rng: np.random.Generator, loss_rate: float, burst_length: float = 3.0
+    rng: np.random.Generator,
+    loss_rate: float,
+    burst_length: float = 3.0,
+    residual_good_loss: float = 0.0,
+    obs: Recorder | None = None,
+    link: str = "channel",
 ) -> GilbertElliott:
-    """Convenience constructor mirroring :class:`GilbertElliott`."""
-    return GilbertElliott(rng, loss_rate, burst_length)
+    """The blessed constructor for burst-loss channels.
+
+    Exposes the full :class:`GilbertElliott` parameter set (it used to
+    drop the instrumentation arguments); every in-tree channel -- scalar
+    :meth:`GilbertElliott.step` consumers and the batched
+    :meth:`GilbertElliott.step_many` path alike -- is built through this
+    one entry point.
+    """
+    return GilbertElliott(
+        rng,
+        loss_rate,
+        burst_length,
+        residual_good_loss=residual_good_loss,
+        obs=obs,
+        link=link,
+    )

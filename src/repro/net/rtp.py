@@ -39,6 +39,24 @@ class RtpPacketizer:
         self.mtu = mtu
         self._sequence = 0
 
+    def packet_count(self, frame_bytes: float) -> int:
+        """Number of packets :meth:`packetize` would emit for this frame.
+
+        Pure arithmetic (no sequence-number side effects): the batched
+        streaming path sizes whole-drive packet arrays from this, then
+        advances the sequence counter in bulk via :meth:`advance_sequence`.
+        """
+        if frame_bytes < 0:
+            raise ValueError("frame size must be non-negative")
+        total = int(math.ceil(frame_bytes))
+        return max(1, math.ceil(total / self.mtu))
+
+    def advance_sequence(self, count: int) -> None:
+        """Bulk-advance the monotonic sequence counter by ``count`` packets."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._sequence += count
+
     def packetize(self, frame_index: int, frame_bytes: float) -> list[RtpPacket]:
         """RTP packets covering ``frame_bytes`` of encoded payload."""
         if frame_bytes < 0:

@@ -55,6 +55,13 @@ def run_drive_stream(
     at constant speed; each frame's packets are spread uniformly across the
     frame interval so handoff outages clip partial frames, as they do on a
     real radio.
+
+    The drive runs as one numpy batch: frame generation
+    (:meth:`~repro.net.video.VideoStream.frame_arrays`), packet timing,
+    the uplink (:meth:`~repro.net.cellular.CellularUplink.send_packets`)
+    and the loss accounting all operate on whole-drive arrays.  Packet
+    outcomes are RNG-draw-order compatible with the per-packet loop this
+    replaces, so results are unchanged.
     """
     if params is None:
         params = LTEParams()
@@ -67,21 +74,29 @@ def run_drive_stream(
     stream = VideoStream(profile, duration_s)
     frame_interval = 1.0 / profile.fps
 
-    for frame in stream.frames():
-        packets = packetizer.packetize(frame.index, frame.nbytes)
-        spacing = frame_interval / len(packets)
-        results = []
-        for i, _packet in enumerate(packets):
-            t = frame.timestamp_s + i * spacing
-            x = start_position_m + speed_mps * t
-            delivered = uplink.send_packet(
-                time_s=t,
-                position_m=x,
-                speed_mps=speed_mps,
-                offered_bitrate_mbps=profile.bitrate_mbps,
-            )
-            results.append(delivered)
-        accounting.record_frame(frame, results)
+    indices, timestamps, _nbytes, is_key, gop_indices = stream.frame_arrays()
+    # Frame sizes take exactly two values, so per-frame packet counts do too.
+    counts = np.where(
+        is_key,
+        packetizer.packet_count(profile.i_frame_bytes),
+        packetizer.packet_count(profile.p_frame_bytes),
+    )
+    total_packets = int(counts.sum())
+    packetizer.advance_sequence(total_packets)
+    # Per-packet send times: frame timestamp plus the uniform intra-frame
+    # spread (timestamp + i * spacing, the scalar loop's arithmetic).
+    spacing = frame_interval / counts
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    frame_of = np.repeat(np.arange(len(indices)), counts)
+    within = np.arange(total_packets) - np.repeat(starts, counts)
+    packet_times = timestamps[frame_of] + within * spacing[frame_of]
+    packet_positions = start_position_m + speed_mps * packet_times
+
+    delivered = uplink.send_packets(
+        packet_times, packet_positions, speed_mps, profile.bitrate_mbps
+    )
+    lost_counts = counts - np.add.reduceat(delivered.astype(np.int64), starts)
+    accounting.record_frames(indices, gop_indices, is_key, counts, lost_counts)
 
     return StreamResult(
         profile_name=profile.name,

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["VideoProfile", "VIDEO_720P", "VIDEO_1080P", "Frame", "VideoStream", "FrameLossAccounting"]
 
 #: Ratio of I-frame size to P-frame size in the encoded stream.
@@ -91,6 +93,24 @@ class VideoStream:
                 gop_index=gop_index,
             )
 
+    def frame_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The whole stream as per-drive numpy batches.
+
+        Returns ``(indices, timestamps, nbytes, is_key, gop_indices)``,
+        element-for-element equal to the :meth:`frames` sequence (same
+        ``index * interval`` timestamp arithmetic), without materializing a
+        :class:`Frame` object per frame -- the batched streaming path
+        consumes these arrays directly.
+        """
+        profile = self.profile
+        interval = 1.0 / profile.fps
+        indices = np.arange(self.frame_count)
+        gop_indices, position = np.divmod(indices, profile.gop_frames)
+        is_key = position == 0
+        nbytes = np.where(is_key, profile.i_frame_bytes, profile.p_frame_bytes)
+        timestamps = indices * interval
+        return indices, timestamps, nbytes, is_key, gop_indices
+
 
 @dataclass
 class FrameLossAccounting:
@@ -121,6 +141,28 @@ class FrameLossAccounting:
             self._frames_direct_lost.add(frame.index)
             if frame.is_key:
                 self._gop_key_lost.add(frame.gop_index)
+
+    def record_frames(
+        self,
+        indices: np.ndarray,
+        gop_indices: np.ndarray,
+        is_key: np.ndarray,
+        packet_counts: np.ndarray,
+        lost_counts: np.ndarray,
+    ) -> None:
+        """Batched :meth:`record_frame`: one call per drive, same state.
+
+        ``packet_counts[i]`` / ``lost_counts[i]`` are the sent/lost packet
+        totals of frame ``indices[i]``; the resulting accounting state is
+        identical to recording each frame individually.
+        """
+        self.packets_sent += int(packet_counts.sum())
+        self.packets_lost += int(lost_counts.sum())
+        self._frames_total += len(indices)
+        self._frame_gop.update(zip(indices.tolist(), gop_indices.tolist()))
+        lost_mask = lost_counts > 0
+        self._frames_direct_lost.update(indices[lost_mask].tolist())
+        self._gop_key_lost.update(gop_indices[lost_mask & is_key].tolist())
 
     @property
     def packet_loss_rate(self) -> float:

@@ -6,8 +6,8 @@ global RNG, byte-stable exports):
 * **Metrics** (:mod:`repro.obs.metrics`) -- a label-aware registry of
   :class:`Counter` / :class:`Gauge` / :class:`Histogram` series (fixed
   buckets + P-squared streaming quantiles) with snapshot/diff/merge and
-  stable JSON export.  :class:`Summary` and :class:`Timeline` (formerly
-  ``repro.metrics``) live here now.
+  stable JSON export.  :class:`Summary` and :class:`Timeline` live
+  here.
 * **Tracing** (:mod:`repro.obs.trace`) -- a span tracer stamping sim-time
   spans (context-manager, decorator, and async-process flavours) and
   exporting Chrome ``trace_event`` JSON viewable in Perfetto.

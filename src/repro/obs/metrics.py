@@ -9,8 +9,8 @@ link="lte")`` and ``registry.counter("net.packets", link="dsrc")`` are
 distinct series -- and snapshots are plain nested dicts, so they diff and
 merge with ordinary dictionary code (and round-trip through JSON).
 
-:class:`Summary` and :class:`Timeline` (formerly ``repro.metrics``) live
-here too; ``repro.metrics`` remains as a deprecation shim.
+:class:`Summary` and :class:`Timeline` (formerly ``repro.metrics``,
+now fully migrated here) live here too.
 """
 
 from __future__ import annotations
@@ -217,6 +217,7 @@ class Histogram:
             raise ValueError("histogram bounds must be sorted ascending")
         if not self.bucket_counts:
             self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self._bounds_arr = np.asarray(self.bounds, dtype=float)
         self._quantiles = {q: P2Quantile(q) for q in TRACKED_QUANTILES}
         self._estimators = tuple(self._quantiles.values())
 
@@ -231,6 +232,44 @@ class Histogram:
             self.maximum = value
         for estimator in self._estimators:
             estimator.add(value)
+
+    def observe_many(self, values) -> None:
+        """Feed a batch of samples; exactly equivalent to n observes.
+
+        Bucket counting is vectorized (``searchsorted`` matches
+        ``bisect_left`` element-for-element); the running sum, min/max,
+        and the P-squared estimators consume the samples sequentially in
+        order, so every derived statistic -- including the
+        order-sensitive quantile estimates and the float ``sum`` -- is
+        bit-identical to calling :meth:`observe` per sample.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        counts = np.bincount(
+            np.searchsorted(self._bounds_arr, arr, side="left"),
+            minlength=len(self.bucket_counts),
+        )
+        buckets = self.bucket_counts
+        for i, n in enumerate(counts.tolist()):
+            if n:
+                buckets[i] += n
+        self.count += arr.size
+        total = self.total
+        minimum = self.minimum
+        maximum = self.maximum
+        estimators = self._estimators
+        for value in arr.tolist():
+            total += value
+            if value < minimum:
+                minimum = value
+            if value > maximum:
+                maximum = value
+            for estimator in estimators:
+                estimator.add(value)
+        self.total = total
+        self.minimum = minimum
+        self.maximum = maximum
 
     @property
     def mean(self) -> float:

@@ -61,6 +61,13 @@ class Recorder:
     def observe(self, name: str, value: float, **labels) -> None:
         """Feed one sample to a histogram series."""
 
+    def observe_batch(self, name: str, values, **labels) -> None:
+        """Feed a batch of samples to a histogram series.
+
+        Exactly equivalent to observing each value in order -- hot loops
+        accumulate locally and flush once through this hook.
+        """
+
     def span(self, name: str, track: str = "main", **args):
         """Context manager timing a nested block (no-op here)."""
         return _NULL_SPAN
@@ -98,6 +105,12 @@ class Collector(Recorder):
 
     def observe(self, name: str, value: float, **labels) -> None:
         self.registry.histogram(name, **labels).observe(value)
+
+    def observe_batch(self, name: str, values, **labels) -> None:
+        # An empty batch must not materialize the series (a sequence of
+        # zero observe() calls would not have).
+        if len(values):
+            self.registry.histogram(name, **labels).observe_many(values)
 
     def span(self, name: str, track: str = "main", **args) -> Span:
         return self.tracer.span(name, track=track, **args)

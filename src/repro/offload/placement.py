@@ -22,7 +22,13 @@ from ..topology.nodes import Tier
 from ..topology.world import World
 from .task import TaskGraph
 
-__all__ = ["Placement", "PlacementEvaluation", "evaluate_placement"]
+__all__ = [
+    "CompiledPlacement",
+    "Placement",
+    "PlacementEvaluation",
+    "compile_placement",
+    "evaluate_placement",
+]
 
 
 @dataclass(frozen=True)
@@ -124,3 +130,168 @@ def evaluate_placement(
         vehicle_energy_j=meter.busy_joules(),
         feasible=True,
     )
+
+
+# -- compiled evaluation ----------------------------------------------------
+
+#: Transfer-op kinds a compiled plan replays at evaluation time.
+_OP_ZERO = 0       # same tier: no transfer
+_OP_LATENCY = 1    # zero bytes across a link: propagation delay only
+_OP_TRANSFER = 2   # bytes across a link: read live link state
+
+
+class CompiledPlacement:
+    """A pre-resolved evaluation plan for one (graph, placement, world).
+
+    Compilation performs every lookup :func:`evaluate_placement` repeats
+    per call -- topological order, tier assignment, best-fit processor
+    selection, link-table resolution, constant execution times, the
+    uplink-byte total and the vehicle energy sum -- and leaves
+    :meth:`evaluate` to re-read only what moves between control ticks:
+    the link objects' live bandwidth/latency state.  The arithmetic runs
+    in exactly the order of the interpreted evaluator, so every float
+    (latency, uplink bytes, energy) is bit-identical to it -- these
+    numbers feed deadline-miss counts and per-vehicle trace hashes, where
+    "close" is not equal.
+
+    A plan goes stale when any node it resolved processors from changes
+    its processor set (``Node.version``); callers check :attr:`fresh`
+    before reuse and recompile otherwise.
+    """
+
+    def __init__(self, graph: TaskGraph, placement: Placement, world: World):
+        placement.validate(graph)
+        self.world = world
+        self._node_versions = tuple(
+            (world.node_for_tier(tier), world.node_for_tier(tier).version)
+            for tier in sorted({placement.tier_of(n) for n in graph.task_names})
+        )
+        self._infeasible: PlacementEvaluation | None = None
+        #: Per task, in topo order: (source_op, ((pred_index, op), ...),
+        #: exec_time).  An op is (kind, link, nbytes).
+        self._steps: list[tuple] = []
+        self._sinks: list[tuple] = []
+        self.uplink_bytes = 0.0
+        self.vehicle_energy_j = 0.0
+
+        index = {name: i for i, name in enumerate(graph.task_names)}
+        meter = EnergyMeter()
+        for name in graph.task_names:
+            task = graph.task(name)
+            tier = placement.tier_of(name)
+            node = world.node_for_tier(tier)
+            processor = node.best_processor_for(task.workload)
+            if processor is None:
+                # Compile-time only: built at most once per cached plan.
+                self._infeasible = PlacementEvaluation(  # vdaplint: disable=PERF001
+                    latency_s=float("inf"),
+                    uplink_bytes=0.0,
+                    vehicle_energy_j=0.0,
+                    feasible=False,
+                    infeasible_reason=f"{tier} has no processor for {task.workload.value}",  # vdaplint: disable=PERF005
+                )
+                return
+            source_op = None
+            if task.source_bytes:
+                source_op = self._compile_op(
+                    world, Tier.VEHICLE, tier, task.source_bytes
+                )
+                if tier != Tier.VEHICLE:
+                    self.uplink_bytes += task.source_bytes
+            pred_ops = []
+            for pred in graph.predecessors(name):
+                pred_tier = placement.tier_of(pred)
+                nbytes = graph.task(pred).output_bytes
+                pred_ops.append(
+                    (index[pred], self._compile_op(world, pred_tier, tier, nbytes))
+                )
+                if pred_tier == Tier.VEHICLE and tier != Tier.VEHICLE:
+                    self.uplink_bytes += nbytes
+            exec_time = processor.execution_time(task.work_gop, task.workload)
+            # Compile-time only: one tuple per task, once per cached plan.
+            self._steps.append((source_op, tuple(pred_ops), exec_time))  # vdaplint: disable=PERF001
+            if tier == Tier.VEHICLE:
+                meter.record_busy(processor, exec_time)
+        for sink in graph.sinks:
+            self._sinks.append(
+                (
+                    index[sink],
+                    self._compile_op(
+                        world,
+                        placement.tier_of(sink),
+                        Tier.VEHICLE,
+                        graph.task(sink).output_bytes,
+                    ),
+                )
+            )
+        self.vehicle_energy_j = meter.busy_joules()
+
+    #: LinkTable attribute per cross-tier pair (resolved per evaluation:
+    #: callers may replace a link object wholesale, e.g. with an estimate).
+    _LINK_ATTR = {
+        frozenset((Tier.VEHICLE, Tier.EDGE)): "vehicle_edge",
+        frozenset((Tier.VEHICLE, Tier.CLOUD)): "vehicle_cloud",
+        frozenset((Tier.EDGE, Tier.CLOUD)): "edge_cloud",
+    }
+
+    @classmethod
+    def _compile_op(cls, world: World, src_tier: str, dst_tier: str, nbytes: float):
+        if src_tier == dst_tier:
+            return (_OP_ZERO, None, 0.0)
+        # Validates the link exists now; evaluation re-reads it by name.
+        world.links.between(src_tier, dst_tier)
+        attr = cls._LINK_ATTR[frozenset((src_tier, dst_tier))]
+        if nbytes == 0.0:
+            return (_OP_LATENCY, attr, 0.0)
+        return (_OP_TRANSFER, attr, nbytes)
+
+    @property
+    def fresh(self) -> bool:
+        """False once any resolved node changed its processor set."""
+        return all(node.version == seen for node, seen in self._node_versions)
+
+    def evaluate(self) -> PlacementEvaluation:
+        """Cost under the links' *current* state (see class docstring)."""
+        if self._infeasible is not None:
+            return self._infeasible
+        links = self.world.links
+        finish = [0.0] * len(self._steps)
+        for i, (source_op, pred_ops, exec_time) in enumerate(self._steps):
+            ready = 0.0
+            if source_op is not None:
+                kind, attr, nbytes = source_op
+                if kind == _OP_TRANSFER:
+                    ready = getattr(links, attr).transfer_time(nbytes)
+                elif kind == _OP_LATENCY:
+                    ready = getattr(links, attr).one_way_latency_s
+            for pred_index, (kind, attr, nbytes) in pred_ops:
+                arrival = finish[pred_index]
+                if kind == _OP_TRANSFER:
+                    arrival += getattr(links, attr).transfer_time(nbytes)
+                elif kind == _OP_LATENCY:
+                    arrival += getattr(links, attr).one_way_latency_s
+                if arrival > ready:
+                    ready = arrival
+            finish[i] = ready + exec_time
+        latency = 0.0
+        for sink_index, (kind, attr, nbytes) in self._sinks:
+            back = finish[sink_index]
+            if kind == _OP_TRANSFER:
+                back += getattr(links, attr).transfer_time(nbytes)
+            elif kind == _OP_LATENCY:
+                back += getattr(links, attr).one_way_latency_s
+            if back > latency:
+                latency = back
+        return PlacementEvaluation(
+            latency_s=latency,
+            uplink_bytes=self.uplink_bytes,
+            vehicle_energy_j=self.vehicle_energy_j,
+            feasible=True,
+        )
+
+
+def compile_placement(
+    graph: TaskGraph, placement: Placement, world: World
+) -> CompiledPlacement:
+    """Compile ``placement`` for repeated evaluation against ``world``."""
+    return CompiledPlacement(graph, placement, world)

@@ -27,6 +27,7 @@ from .edgeos.sharing import DataSharingBus
 from .obs.metrics import Summary, Timeline
 from .obs.recorder import Recorder
 from .offload.executor import DistributedExecutor
+from .offload.task import TaskGraph
 from .topology.nodes import Tier
 from .topology.world import World, build_default_world
 from .sim.core import Simulator
@@ -199,6 +200,11 @@ class DriveScenario:
         for service in self._services:
             report.services[service.name] = ServiceReport(name=service.name)
         next_invocation = {service.name: 0.0 for service in self._services}
+        # (service, pipeline) -> reusable vehicle-share TaskGraph (or None
+        # when the pipeline places nothing locally).  The share's task set
+        # is a pure function of the pipeline assignment; only the graph
+        # *name* carries per-tick identity, so it is re-stamped per submit.
+        local_graphs: dict[tuple[str, str], TaskGraph | None] = {}
 
         obs = self.obs
 
@@ -246,32 +252,40 @@ class DriveScenario:
                         service_report.deadline_misses += 1
                         obs.count("scenario.deadline_misses", service=service.name)
                     # 4. Execute the invocation.
-                    graph = service.graph_factory()
                     pipeline = service.pipeline(choice.pipeline)
                     if self.execute_distributed:
                         # Full placed graph through the distributed executor:
                         # executed latencies include queueing.
                         proc = self.executor.submit(
-                            graph, pipeline.placement(), priority=service.qos
+                            service.graph_factory(),
+                            pipeline.placement(),
+                            priority=service.qos,
                         )
                         sim.process(
                             self._record_executed(proc, service_report)
                         )
                     else:
-                        # On-board share only, through the VCU's DSF.
-                        # Per-tick job materialization is the control loop's
-                        # product: the elastic assignment can change each tick,
-                        # and the graph name carries per-tick identity.
-                        local_tasks = [  # vdaplint: disable=PERF001
-                            task for task in graph.tasks
-                            if pipeline.assignment[task.name] == Tier.VEHICLE
-                        ]
-                        if local_tasks:
-                            from .offload.task import TaskGraph
-
-                            local_graph = TaskGraph(f"{service.name}@{sim.now:.0f}")  # vdaplint: disable=PERF001,PERF005
-                            for task in local_tasks:
-                                local_graph.add_task(task)
+                        # On-board share only, through the VCU's DSF.  The
+                        # share is built once per (service, pipeline) and
+                        # re-submitted with a fresh per-tick name: the DSF
+                        # reads tasks, never graph structure history.
+                        key = (service.name, choice.pipeline)
+                        if key not in local_graphs:
+                            # Cache fill: once per (service, pipeline).
+                            local_tasks = [  # vdaplint: disable=PERF001
+                                task for task in service.graph_factory().tasks
+                                if pipeline.assignment[task.name] == Tier.VEHICLE
+                            ]
+                            share = None
+                            if local_tasks:
+                                share = TaskGraph(service.name)  # vdaplint: disable=PERF001
+                                for task in local_tasks:
+                                    share.add_task(task)
+                            local_graphs[key] = share
+                        local_graph = local_graphs[key]
+                        if local_graph is not None:
+                            # Per-tick job identity lives in the name alone.
+                            local_graph.name = f"{service.name}@{sim.now:.0f}"  # vdaplint: disable=PERF005
                             self.dsf.submit(local_graph, priority=service.qos)
                 # 5. DDI collection.
                 if self.ddi is not None:

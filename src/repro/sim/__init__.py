@@ -12,14 +12,18 @@ from .core import (
     Simulator,
     Timeout,
 )
+from .queues import CalendarQueue, EventQueue, HeapQueue, make_queue
 from .random import RngRegistry
 from .resources import Container, PriorityStore, Resource, Store
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Container",
     "Event",
+    "EventQueue",
+    "HeapQueue",
     "Interrupt",
     "KernelCheckpoint",
     "PriorityStore",
@@ -31,4 +35,5 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "make_queue",
 ]

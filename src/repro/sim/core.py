@@ -21,11 +21,11 @@ Typical usage::
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, NamedTuple, Optional
 
 from ..obs.recorder import NULL_RECORDER, Recorder
+from .queues import EventQueue, make_queue
 
 __all__ = [
     "Event",
@@ -195,13 +195,16 @@ class Process(Event):
 
     def _record_completion(self, ok: bool) -> None:
         """Span the process lifetime into the recorder (no-op when null)."""
-        obs = self.sim.obs
+        sim = self.sim
+        obs = sim.obs
         if obs.enabled:
             obs.async_span(
-                self.name, self._spawned_at, self.sim.now,
+                self.name, self._spawned_at, sim.now,
                 track="sim.process", ok=ok,
             )
-            obs.count("sim.processes_completed", process=self.short_name)
+            name = self.short_name
+            pending = sim._pending_completions
+            pending[name] = pending.get(name, 0) + 1
 
     def _step_throw(self, exc: BaseException) -> None:
         if self.triggered:
@@ -223,8 +226,11 @@ class Process(Event):
         if self.triggered:
             return
         self._waiting_on = None
-        if self.sim.obs.enabled:
-            self.sim.obs.count("sim.process_steps", process=self.short_name)
+        sim = self.sim
+        if sim.obs.enabled:
+            name = self.short_name
+            pending = sim._pending_steps
+            pending[name] = pending.get(name, 0) + 1
         try:
             if trigger is not None and trigger._exception is not None:
                 yielded = self.generator.throw(trigger._exception)
@@ -373,15 +379,31 @@ class Simulator:
     event-trace hashing: each tap is called as ``tap(event, when)`` for
     every event the loop fires, in firing order.  Zero-cost when no tap is
     installed (one truthiness check per event).
+
+    ``queue`` selects the event-queue backend (see :mod:`repro.sim.queues`):
+    ``None`` or ``"heap"`` for the binary-heap reference, ``"calendar"``
+    for the resizing calendar queue, or any :class:`~repro.sim.queues.
+    EventQueue` instance.  Backends are pop-for-pop identical, so the
+    choice affects wall-clock speed only -- never event order, simulated
+    results, or trace hashes.
     """
 
-    def __init__(self, obs: Recorder | None = None):
+    def __init__(
+        self,
+        obs: Recorder | None = None,
+        queue: "EventQueue | str | None" = None,
+    ):
         self._now = 0.0
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: EventQueue = make_queue(queue)
         self._counter = itertools.count()
         self._stopped = False
         self._fired = 0
         self._taps: list[Callable[[Event, float], None]] = []
+        # Per-run accounting the loop batches and flushes through ``obs``
+        # once per run()/step() instead of per event (see _flush_pending).
+        self._pending_steps: dict[str, int] = {}
+        self._pending_completions: dict[str, int] = {}
+        self._flush_hooks: list[Callable[[Recorder], None]] = []
         self.obs: Recorder = obs if obs is not None else NULL_RECORDER
         if obs is not None:
             obs.bind_clock(lambda: self._now)
@@ -455,9 +477,7 @@ class Simulator:
     # -- scheduling --------------------------------------------------------
 
     def _schedule_event(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._counter), event)
-        )
+        self._queue.push(self._now + delay, priority, next(self._counter), event)
 
     def stop(self) -> None:
         """Halt :meth:`run` after the current event finishes."""
@@ -465,33 +485,79 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek()
+
+    def add_flush_hook(self, hook: Callable[[Recorder], None]) -> None:
+        """Register a batched-accounting flush callback.
+
+        Subsystems that accumulate per-event observations locally (e.g.
+        the DSF's per-task exec/energy accounting) register a hook; the
+        kernel invokes every hook once per :meth:`run` / :meth:`step`,
+        after its own pending accounting, so deferred metrics land in the
+        recorder before any post-run export or snapshot.
+        """
+        self._flush_hooks.append(hook)
+
+    def _flush_pending(self, obs: Recorder) -> None:
+        """Fold batched per-process accounting into the recorder.
+
+        Counter sums are order-independent, but flush in sorted name
+        order anyway so the flush itself is deterministic.
+        """
+        steps = self._pending_steps
+        if steps:
+            for name in sorted(steps):
+                obs.count("sim.process_steps", steps[name], process=name)
+            steps.clear()
+        completions = self._pending_completions
+        if completions:
+            for name in sorted(completions):
+                obs.count("sim.processes_completed", completions[name], process=name)
+            completions.clear()
+        for hook in self._flush_hooks:
+            hook(obs)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or stop().
 
         Returns the simulation time at exit.  ``until`` is an absolute time;
         the clock is advanced to it even if no event lands exactly there.
+
+        Kernel accounting (events fired, queue-depth samples, per-process
+        step counts) is accumulated in locals and flushed to ``obs`` once
+        at exit: the resulting metric values are exactly what per-event
+        recording would produce, without per-event recorder calls.
         """
         if until is not None and until < self._now:
             raise SimulationError(f"cannot run backwards: until={until} < now={self._now}")
         self._stopped = False
         obs = self.obs
         record = obs.enabled
-        while self._queue and not self._stopped:
-            when, _prio, _seq, event = self._queue[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(self._queue)
-            self._now = when
-            self._fired += 1
+        queue = self._queue
+        taps = self._taps
+        fired = 0
+        depths: list[int] = []
+        try:
+            while queue and not self._stopped:
+                when = queue.peek()
+                if until is not None and when > until:
+                    break
+                event = queue.pop()[3]
+                self._now = when
+                fired += 1
+                if record:
+                    depths.append(len(queue))
+                if taps:
+                    for tap in taps:
+                        tap(event, when)
+                event._resolve()
+        finally:
+            self._fired += fired
+            if record and fired:
+                obs.count("sim.events_fired", fired)
+                obs.observe_batch("sim.queue_depth", depths)
             if record:
-                obs.count("sim.events_fired")
-                obs.observe("sim.queue_depth", len(self._queue))
-            if self._taps:
-                for tap in self._taps:
-                    tap(event, when)
-            event._resolve()
+                self._flush_pending(obs)
         if until is not None and not self._stopped:
             self._now = max(self._now, until)
         return self._now
@@ -516,13 +582,16 @@ class Simulator:
         """Process exactly one event; returns the new time."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = self._queue.pop()
         self._now = when
         self._fired += 1
-        if self.obs.enabled:
-            self.obs.count("sim.events_fired")
+        obs = self.obs
+        if obs.enabled:
+            obs.count("sim.events_fired")
         if self._taps:
             for tap in self._taps:
                 tap(event, when)
         event._resolve()
+        if obs.enabled:
+            self._flush_pending(obs)
         return self._now

@@ -35,11 +35,16 @@ class Tier:
 
 @dataclass
 class Node:
-    """A compute location with a set of processors."""
+    """A compute location with a set of processors.
+
+    ``version`` counts processor-set changes; caches of per-node
+    derivations (e.g. compiled placements) compare it to detect staleness.
+    """
 
     name: str
     tier: str
     processors: list[ProcessorModel] = field(default_factory=list)
+    version: int = field(default=0, init=False, compare=False)
 
     def __post_init__(self):
         if self.tier not in Tier.ALL:
@@ -47,10 +52,12 @@ class Node:
 
     def add_processor(self, processor: ProcessorModel) -> None:
         self.processors.append(processor)
+        self.version += 1
 
     def remove_processor(self, name: str) -> ProcessorModel:
         for i, proc in enumerate(self.processors):
             if proc.name == name:
+                self.version += 1
                 return self.processors.pop(i)
         raise KeyError(f"no processor named {name!r} on {self.name}")
 

@@ -2,12 +2,9 @@
 
 Covers the single-wiring-point contract (``DriveScenario(observe=...)`` /
 ``Simulator(obs=...)``), byte-identical exports across identical-seed
-runs, non-perturbation (instrumentation must not change simulated
-results), and the ``repro.metrics`` deprecation shim.
+runs, and non-perturbation (instrumentation must not change simulated
+results).
 """
-
-import importlib
-import sys
 
 import pytest
 
@@ -83,28 +80,6 @@ def test_simulator_binds_collector_clock():
     sim.run()
     (mark,) = [e for e in collector.tracer.events if e["ph"] == "i"]
     assert mark["ts"] == pytest.approx(2e6)
-
-
-# -- deprecation shim ------------------------------------------------------
-
-
-def test_metrics_shim_warns_once_on_import():
-    sys.modules.pop("repro.metrics", None)
-    with pytest.warns(DeprecationWarning, match="repro.obs"):
-        importlib.import_module("repro.metrics")
-
-
-def test_metrics_shim_reexports_the_same_objects():
-    import warnings
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        metrics = importlib.import_module("repro.metrics")
-    import repro.obs
-
-    assert metrics.Summary is repro.obs.Summary
-    assert metrics.Timeline is repro.obs.Timeline
-    assert metrics.__all__ == ["Summary", "Timeline"]
 
 
 # -- Summary cache (the perf fix) ------------------------------------------

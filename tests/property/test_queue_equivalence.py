@@ -1,0 +1,112 @@
+"""CalendarQueue vs HeapQueue: pop-for-pop equivalence (hypothesis).
+
+The scheduler API contract (`repro.sim.queues`): every backend releases
+entries in ascending ``(when, priority, seq)`` order, with ``seq`` as the
+FIFO tiebreak that makes trace hashes a pure function of the schedule.
+These properties drive both backends through randomized interleavings of
+push / pop / remove -- including bursts of same-timestamp events and
+mid-queue cancellations -- and require the full ``(when, priority, seq,
+event)`` pop sequences to be identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.queues import CalendarQueue, HeapQueue, make_queue
+
+# Timestamps are drawn from a coarse lattice so same-`when` collisions
+# (the FIFO-tiebreak case) occur constantly, plus a wide tail so the
+# calendar has to resize its bucket width.
+whens = st.one_of(
+    st.integers(min_value=0, max_value=8).map(lambda k: k * 0.25),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+)
+priorities = st.integers(min_value=-2, max_value=2)
+schedules = st.lists(st.tuples(whens, priorities), min_size=0, max_size=80)
+
+
+def _push_all(schedule):
+    """Feed one schedule to both backends; seq is the push index."""
+    heap, calendar = HeapQueue(), CalendarQueue()
+    for seq, (when, priority) in enumerate(schedule):
+        heap.push(when, priority, seq, f"ev{seq}")
+        calendar.push(when, priority, seq, f"ev{seq}")
+    return heap, calendar
+
+
+def _drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+@given(schedule=schedules)
+@settings(max_examples=200)
+def test_backends_pop_identical_sequences(schedule):
+    """Identical pushes => identical (when, priority, seq, event) pops."""
+    heap, calendar = _push_all(schedule)
+    assert len(heap) == len(calendar) == len(schedule)
+    assert heap.peek() == calendar.peek()  # vdaplint: disable=FLT001
+    assert _drain(heap) == _drain(calendar)
+    assert not heap and not calendar
+
+
+@given(schedule=schedules.filter(len),
+       removals=st.lists(st.integers(min_value=0, max_value=10 ** 9),
+                         min_size=1, max_size=20))
+@settings(max_examples=200)
+def test_backends_agree_under_mid_queue_removal(schedule, removals):
+    """remove() hits the same entries and leaves identical residues."""
+    heap, calendar = _push_all(schedule)
+    for pick in removals:
+        when, priority = schedule[pick % len(schedule)]
+        seq = pick % len(schedule)
+        assert heap.remove(when, priority, seq) == calendar.remove(
+            when, priority, seq
+        )
+        # A second remove of the same key must miss on both backends.
+        assert heap.remove(when, priority, seq) is False
+        assert calendar.remove(when, priority, seq) is False
+        assert len(heap) == len(calendar)
+        assert heap.peek() == calendar.peek()  # vdaplint: disable=FLT001
+    assert _drain(heap) == _drain(calendar)
+
+
+@given(schedule=schedules,
+       pop_points=st.lists(st.booleans(), min_size=0, max_size=80))
+@settings(max_examples=200)
+def test_backends_agree_with_interleaved_pops(schedule, pop_points):
+    """Pops interleaved with pushes (the kernel's actual access pattern).
+
+    Later pushes may land *earlier* than entries already popped from the
+    lattice tail -- exactly what a simulator does when a fired event
+    schedules new work; both backends must still agree pop-for-pop.
+    """
+    heap, calendar = HeapQueue(), CalendarQueue()
+    pops = []
+    for seq, (when, priority) in enumerate(schedule):
+        heap.push(when, priority, seq, seq)
+        calendar.push(when, priority, seq, seq)
+        if seq < len(pop_points) and pop_points[seq] and heap:
+            pops.append((heap.pop(), calendar.pop()))
+    for a, b in pops:
+        assert a == b
+    assert _drain(heap) == _drain(calendar)
+
+
+@given(schedule=schedules)
+@settings(max_examples=50)
+def test_iteration_matches_pop_order_without_draining(schedule):
+    """__iter__ previews pop order and must not disturb the queue."""
+    heap, calendar = _push_all(schedule)
+    preview_h, preview_c = list(heap), list(calendar)
+    assert preview_h == preview_c
+    assert len(heap) == len(schedule)  # iteration was non-destructive
+    assert _drain(calendar) == preview_c
+
+
+def test_make_queue_resolves_both_backends():
+    assert isinstance(make_queue("heap"), HeapQueue)
+    assert isinstance(make_queue("calendar"), CalendarQueue)

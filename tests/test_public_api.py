@@ -23,7 +23,6 @@ SUBPACKAGES = [
     "repro.libvdap",
     "repro.apps",
     "repro.workloads",
-    "repro.metrics",
     "repro.obs",
     "repro.scenario",
 ]
