@@ -25,8 +25,14 @@ Modes (both are exercised in CI):
     instead of round-robin shards.  ``--workload skewed`` selects the
     imbalanced service mix the planner balances; with ``--check`` the
     planned run must still match the reference byte for byte.
+``--scenario FILE``
+    Compile a scenario document (the ``repro.scenarios`` DSL) into the
+    drive config instead of building one from the flags above.  Sweep
+    matrices pick the cell with ``--cell N`` (default 0).  ``--check``
+    and ``--kill`` still compose on top of the compiled config.
 
 Run:  python examples/fleet_drive.py [--partitions 4] [--check] [--kill 1:3]
+      python examples/fleet_drive.py --scenario scenarios/fleet_smoke.yaml --check
 """
 
 import argparse
@@ -68,17 +74,42 @@ def main() -> int:
     parser.add_argument("--plan", metavar="PATH", default=None,
                         help="execute a planner-emitted PartitionPlan JSON "
                              "instead of round-robin shards")
+    parser.add_argument("--scenario", metavar="FILE", default=None,
+                        help="compile this scenario document into the drive "
+                             "config instead of the flags above")
+    parser.add_argument("--cell", type=int, default=0,
+                        help="matrix cell index when --scenario sweeps "
+                             "(default: 0)")
     args = parser.parse_args()
 
-    config = FleetConfig(
-        seed=args.seed,
-        vehicles=args.vehicles,
-        partitions=args.partitions,
-        duration_s=args.duration,
-        barrier_deadline_s=120.0,
-        kill_plan=parse_kill(args.kill) if args.kill else None,
-        workload=args.workload,
-    )
+    if args.scenario:
+        from repro.scenarios import ScenarioError, load_scenario
+        try:
+            scenario = load_scenario(args.scenario)
+        except ScenarioError as exc:
+            raise SystemExit(str(exc))
+        try:
+            cell = scenario.cell(args.cell)
+        except IndexError:
+            raise SystemExit(
+                f"--cell {args.cell} is out of range; "
+                f"{args.scenario} has {len(scenario.cells)} cell(s)"
+            )
+        config = cell.config
+        if args.kill:
+            config = replace(config, kill_plan=parse_kill(args.kill))
+        print(f"scenario {scenario.name}: cell `{cell.name}` "
+              f"({config.vehicles} vehicles, {config.partitions} partitions)")
+    else:
+        config = FleetConfig(
+            seed=args.seed,
+            vehicles=args.vehicles,
+            partitions=args.partitions,
+            duration_s=args.duration,
+            barrier_deadline_s=120.0,
+            kill_plan=parse_kill(args.kill) if args.kill else None,
+            workload=args.workload,
+        )
     if args.plan:
         plan = PartitionPlan.load(args.plan)
         config = replace(config, plan=plan.shards_for(config))

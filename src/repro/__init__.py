@@ -19,13 +19,14 @@ A full-stack, simulation-backed reproduction of Zhang et al., ICDCS 2018:
 * :mod:`repro.obs` -- deterministic observability: metric registry, span
   tracer (Chrome-trace export), benchmark reports
 * :mod:`repro.workloads` -- workload generators
+* :mod:`repro.scenarios` -- the declarative scenario DSL + compiler
 * :mod:`repro.analysis` -- the ``vdaplint`` determinism & safety linter
 """
 
 __version__ = "1.0.0"
 
 from . import analysis, apps, ddi, edgeos, faults, fleet, hw, libvdap, net, nn, obs, offload
-from . import scenario, sim, topology, vcu, vision, workloads
+from . import scenario, scenarios, sim, topology, vcu, vision, workloads
 
 __all__ = [
     "__version__",
@@ -42,6 +43,7 @@ __all__ = [
     "obs",
     "offload",
     "scenario",
+    "scenarios",
     "sim",
     "topology",
     "vcu",

@@ -33,6 +33,11 @@ property checked on every commit instead of a convention in DESIGN.md:
   a provable cross-partition lookahead, FLEET001-003 barrier-safety
   rules, and a greedy-LPT cost-balanced partition plan the fleet layer
   executes (``--plan``);
+* a **scenario** tier (:mod:`.scenario`): SCN001-005 static validation
+  of declarative fleet scenario files (:mod:`repro.scenarios`) --
+  schema, unit suffixes, cross-references, per-cell barrier
+  feasibility re-proved through the planning tier's ConstResolver, and
+  matrix cost budgets from the static cost model (``--scenarios``);
 * a **runtime** cross-check (:mod:`.sanitizer`): an opt-in
   ``DeterminismSanitizer`` that hashes the live event trace so two
   same-seed runs can be diffed to the first diverging event;
@@ -109,6 +114,14 @@ from .protocol import PROTOCOL_RULE_CLASSES, ProtocolChecker
 from .reporter import render_json, render_text
 from .rules import RULE_CLASSES, default_rules, rules_by_id
 from .sanitizer import DeterminismSanitizer, Divergence, TraceRecord
+from .scenario import (
+    SCENARIO_RULE_CLASSES,
+    ScenarioAnalyzer,
+    ScenarioCache,
+    discover_scenario_files,
+    scenario_rules,
+    scenario_rules_by_id,
+)
 from .units import (
     UNIT_RULE_CLASSES,
     ModuleSummary,
@@ -155,8 +168,11 @@ __all__ = [
     "RULE_CLASSES",
     "RoleWeights",
     "Rule",
+    "SCENARIO_RULE_CLASSES",
     "SEMANTIC_RULE_CLASSES",
     "SKIP_MARKER",
+    "ScenarioAnalyzer",
+    "ScenarioCache",
     "SignatureIndex",
     "TaintAnalysis",
     "TraceRecord",
@@ -168,6 +184,7 @@ __all__ = [
     "catalogue_fingerprint",
     "default_rules",
     "discover_files",
+    "discover_scenario_files",
     "emit_plan",
     "fingerprint_findings",
     "fleet_rules",
@@ -192,6 +209,8 @@ __all__ = [
     "render_json",
     "render_text",
     "rules_by_id",
+    "scenario_rules",
+    "scenario_rules_by_id",
     "semantic_rules",
     "semantic_rules_by_id",
     "summarize_module",

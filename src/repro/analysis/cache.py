@@ -101,10 +101,12 @@ def catalogue_fingerprint() -> str:
     from .perf import perf_rules
     from .plan import fleet_rules
     from .rules import default_rules
+    from .scenario import scenario_rules
 
     parts: list[str] = []
     for pack in (default_rules(), flow_rules(), semantic_rules(),
-                 perf_rules(), mp_rules(), fleet_rules()):
+                 perf_rules(), mp_rules(), fleet_rules(),
+                 scenario_rules()):
         parts.extend(sorted(f"{rule.id}@{rule.version}" for rule in pack))
     return _blake("|".join(parts).encode("utf-8"))
 

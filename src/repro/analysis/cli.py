@@ -50,6 +50,13 @@ from .perf import (
 )
 from .reporter import render_json, render_text
 from .rules import default_rules, rules_by_id
+from .scenario import (
+    ScenarioAnalyzer,
+    ScenarioCache,
+    discover_scenario_files,
+    scenario_rules,
+    scenario_rules_by_id,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -181,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(requires --plan)",
     )
     parser.add_argument(
+        "--scenarios", action="store_true",
+        help=(
+            "also validate scenario DSL files (.yaml/.yml under the given "
+            "paths): schema/unit/reference checks (SCN001-003) plus the "
+            "graph-backed barrier-feasibility and matrix-budget proofs "
+            "(SCN004-005), with file:line findings"
+        ),
+    )
+    parser.add_argument(
         "--cache", action="store_true",
         help=(
             "enable the incremental analysis cache: warm runs re-analyze "
@@ -202,17 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
 def _pick_rules(
     select: Optional[str], ignore: Optional[str],
     parser: argparse.ArgumentParser,
-) -> tuple[list[Rule], list[Rule], dict[str, Rule], list[Rule], list[Rule]]:
+) -> tuple[list[Rule], list[Rule], dict[str, Rule], list[Rule], list[Rule],
+           list[Rule]]:
     """Split the selection into (per-file, whole-program, semantic, perf,
-    fleet)."""
+    fleet, scenario)."""
     file_catalogue = rules_by_id()
     flow_catalogue = flow_rules_by_id()
     semantic_catalogue = semantic_rules_by_id()
     perf_catalogue = {**perf_rules_by_id(), **mp_rules_by_id()}
     fleet_catalogue = fleet_rules_by_id()
+    scenario_catalogue = scenario_rules_by_id()
     catalogue = {
         **file_catalogue, **flow_catalogue, **semantic_catalogue,
-        **perf_catalogue, **fleet_catalogue,
+        **perf_catalogue, **fleet_catalogue, **scenario_catalogue,
     }
 
     def parse_ids(raw: str) -> list[str]:
@@ -226,7 +244,8 @@ def _pick_rules(
         chosen = [catalogue[rule_id] for rule_id in parse_ids(select)]
     else:
         chosen = (default_rules() + flow_rules() + semantic_rules()
-                  + perf_rules() + mp_rules() + fleet_rules())
+                  + perf_rules() + mp_rules() + fleet_rules()
+                  + scenario_rules())
     if ignore:
         skipped = set(parse_ids(ignore))
         chosen = [rule for rule in chosen if rule.id not in skipped]
@@ -235,7 +254,9 @@ def _pick_rules(
     semantic_map = {r.id: r for r in chosen if r.id in semantic_catalogue}
     perf_pack = [r for r in chosen if r.id in perf_catalogue]
     fleet_pack = [r for r in chosen if r.id in fleet_catalogue]
-    return file_rules, wp_rules, semantic_map, perf_pack, fleet_pack
+    scenario_pack = [r for r in chosen if r.id in scenario_catalogue]
+    return (file_rules, wp_rules, semantic_map, perf_pack, fleet_pack,
+            scenario_pack)
 
 
 def _init_worker(rule_ids: Sequence[str]) -> None:
@@ -286,6 +307,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.id}  {rule.name} [mp]: {rule.description}")
         for rule in fleet_rules():
             print(f"{rule.id}  {rule.name} [fleet]: {rule.description}")
+        for rule in scenario_rules():
+            print(f"{rule.id}  {rule.name} [scenario]: {rule.description}")
         return 0
 
     if (args.dump_callgraph or args.dump_taint) and not args.whole_program:
@@ -303,9 +326,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "require --plan"
         )
 
-    file_rules, wp_rules, semantic_map, perf_pack, fleet_pack = _pick_rules(
-        args.select, args.ignore, parser
-    )
+    (file_rules, wp_rules, semantic_map, perf_pack, fleet_pack,
+     scenario_pack) = _pick_rules(args.select, args.ignore, parser)
     if args.select and wp_rules and not args.whole_program:
         parser.error(
             "whole-program rules selected "
@@ -324,11 +346,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"({', '.join(sorted(r.id for r in fleet_pack))}) "
             "but --plan not given"
         )
+    if args.select and scenario_pack and not args.scenarios:
+        parser.error(
+            "scenario rules selected "
+            f"({', '.join(sorted(r.id for r in scenario_pack))}) "
+            "but --scenarios not given"
+        )
 
     try:
         files = discover_files(args.paths)
     except FileNotFoundError as err:
         parser.error(f"no such path: {err.args[0]}")
+    scenario_files: list[str] = []
+    if args.scenarios:
+        try:
+            scenario_files = discover_scenario_files(args.paths)
+        except FileNotFoundError as err:
+            parser.error(f"no such path: {err.args[0]}")
 
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
@@ -403,6 +437,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.dump_plan:
             debug["plan"] = plan.to_dict()
 
+    if args.scenarios and scenario_files:
+        scenario_analyzer = ScenarioAnalyzer(scenario_pack)
+        if cache_dir is not None:
+            scenario_cache = ScenarioCache(
+                cache_dir, [r.id for r in scenario_pack]
+            )
+            scenario_run = scenario_cache.run(scenario_files,
+                                              scenario_analyzer)
+            scenario_findings = scenario_run.findings
+            print(
+                f"vdaplint: scenario cache: "
+                f"{len(scenario_run.analyzed)} analyzed, "
+                f"{len(scenario_run.replayed)} replayed",
+                file=sys.stderr,
+            )
+        else:
+            scenario_findings = scenario_analyzer.analyze_files(
+                scenario_files
+            )
+        findings = sorted(findings + scenario_findings)
+
     if args.write_baseline:
         previous = Baseline()
         try:
@@ -453,7 +508,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     render = render_json if args.format == "json" else render_text
-    print(render(findings, files_scanned=len(files), baselined=baselined_count,
+    print(render(findings, files_scanned=len(files) + len(scenario_files),
+                 baselined=baselined_count,
                  stale=stale_count, debug=debug or None, ranking=ranking))
     return 1 if findings else 0
 

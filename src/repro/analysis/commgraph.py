@@ -17,11 +17,22 @@ latency-dimensioned in the first place.  Resolution is deliberately
 conservative: a value only resolves when *every* path to it resolves,
 and the lookahead is only "provable" when every cross-partition send
 edge carries a resolved, positive latency.
+
+One escape hatch exists: a call site marked ``# vdaplint:
+dynamic-config`` on its line is dropped from the min-over-sites
+resolution entirely.  The marker declares that the values flowing
+through that site are data, not code -- proven by a *different* tier
+(the scenario compiler's SCN004 barrier re-proof plus ``FleetConfig``'s
+own runtime validation) -- so the site must not poison the tree-wide
+proof for every statically-written config.  Use it only on sites whose
+inputs are independently validated; it is a visible, per-line contract,
+not a convenience suppression.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -35,8 +46,13 @@ __all__ = [
     "CommGraph",
     "CommSinkSpec",
     "ConstResolver",
+    "DYNAMIC_CONFIG_RE",
     "is_latency_name",
 ]
+
+#: Marks a call site whose argument values are externally validated
+#: data; the site is excluded from min-over-sites constant resolution.
+DYNAMIC_CONFIG_RE = re.compile(r"#\s*vdaplint:\s*dynamic-config\b")
 
 _TIME_DIMS = (("time", 1),)
 
@@ -157,14 +173,29 @@ class ConstResolver:
                     consts.setdefault(target, value)
         for class_qual in sorted(self.graph.classes):
             self._index_class(class_qual)
+        lines_by_path = {
+            module.path: module.source.splitlines()
+            for module in self.graph.modules.values()
+        }
         for caller in sorted(self.graph.calls):
             for site in self.graph.calls[caller]:
                 if not site.callee:
+                    continue
+                if self._is_dynamic_site(site, lines_by_path):
                     continue
                 self._sites_of.setdefault(site.callee, []).append(site)
                 if site.callee.endswith(".__init__"):
                     class_qual = site.callee.rsplit(".", 1)[0]
                     self._sites_of.setdefault(class_qual, []).append(site)
+
+    @staticmethod
+    def _is_dynamic_site(site: CallSite,
+                         lines_by_path: dict[str, list[str]]) -> bool:
+        """True when the site's line carries ``# vdaplint: dynamic-config``."""
+        lines = lines_by_path.get(site.path)
+        if lines is None or not 1 <= site.line <= len(lines):
+            return False
+        return DYNAMIC_CONFIG_RE.search(lines[site.line - 1]) is not None
 
     def _index_class(self, class_qual: str) -> None:
         cls = self.graph.classes[class_qual]

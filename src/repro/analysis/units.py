@@ -52,6 +52,7 @@ __all__ = [
     "UnitChecker",
     "parse_name_unit",
     "parse_unit_expr",
+    "split_name_unit",
     "summarize_module",
     "unit_pragmas",
 ]
@@ -232,23 +233,34 @@ def parse_name_unit(name: str) -> Optional[Unit]:
     whole-word names (``seconds``, ``joules``) count when >= 2 chars, so a
     loop index ``s`` or matrix column ``m`` never picks up a unit.
     """
+    return split_name_unit(name)[1]
+
+
+def split_name_unit(name: str) -> tuple[str, Optional[Unit]]:
+    """Split a name into its quantity stem and trailing unit suffix.
+
+    ``("v2v_latency", seconds)`` for ``v2v_latency_s``; ``(name, None)``
+    when no suffix parses.  The stem is what scenario key-matching uses
+    to recognize ``barrier_ms`` as a mis-scaled spelling of the
+    ``barrier_s`` field.
+    """
     tokens = name.lower().split("_")
     if len(tokens) == 1 and len(tokens[0]) < 2:
-        return None
+        return name, None
     # Earliest start whose trailing segment parses as ``unit (per unit)*``
     # wins, so the longest well-formed suffix is used.  A segment preceded
     # by ``per`` is the tail of a larger compound we could not parse
     # (``kpa_per_s``) -- claiming just the tail would misread the unit.
     for start in range(len(tokens)):
         if start > 0 and tokens[start - 1] == "per":
-            return None
+            return name, None
         segment = tokens[start:]
         unit = _parse_segment(segment)
         if unit is not None:
             if start == 0 and len(segment) == 1 and len(segment[0]) < 2:
-                return None
-            return unit
-    return None
+                return name, None
+            return "_".join(tokens[:start]), unit
+    return name, None
 
 
 def _parse_segment(tokens: list[str]) -> Optional[Unit]:

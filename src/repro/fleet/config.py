@@ -160,16 +160,37 @@ class PartitionPlan:
 
 def validate_shards(shards: Sequence[Sequence[int]], vehicles: int,
                     partitions: int) -> None:
-    """Shard-assignment contract: every vehicle exactly once; empty OK."""
+    """Shard-assignment contract: every vehicle exactly once; empty OK.
+
+    Violations name the offending vehicle ids (unknown, duplicated, or
+    unassigned) so a mis-sharded plan fails loudly at load time instead
+    of silently dropping or double-running vehicles.
+    """
     if len(shards) != partitions:
         raise ValueError(
             f"plan has {len(shards)} shards for {partitions} partitions"
         )
     assigned = [v for shard in shards for v in shard]
-    if sorted(assigned) != list(range(vehicles)):
+    unknown = sorted({v for v in assigned if not 0 <= v < vehicles})
+    if unknown:
         raise ValueError(
-            "plan must assign each of the "
-            f"{vehicles} vehicles to exactly one shard"
+            f"plan names unknown vehicle ids {unknown} "
+            f"(valid ids are 0..{vehicles - 1})"
+        )
+    seen: set[int] = set()
+    duplicates: set[int] = set()
+    for vehicle in assigned:
+        (duplicates if vehicle in seen else seen).add(vehicle)
+    if duplicates:
+        raise ValueError(
+            f"plan assigns vehicle ids {sorted(duplicates)} to more than "
+            "one shard"
+        )
+    missing = sorted(set(range(vehicles)) - seen)
+    if missing:
+        raise ValueError(
+            f"plan leaves vehicle ids {missing} unassigned "
+            f"(every one of the {vehicles} vehicles needs a shard)"
         )
     for shard in shards:
         if list(shard) != sorted(set(shard)):
@@ -213,6 +234,10 @@ class FleetConfig:
     #: Explicit shard assignment (e.g. from a :class:`PartitionPlan`);
     #: ``None`` falls back to round-robin.
     plan: tuple[tuple[int, ...], ...] | None = None
+    #: Explicit workload style object (scenario-compiled rosters carry
+    #: per-vehicle service tables here); ``None`` looks ``workload`` up
+    #: in the shipped ``STYLES`` registry.
+    style_spec: WorkloadStyle | None = None
 
     def __post_init__(self):
         if self.vehicles < 1:
@@ -227,7 +252,7 @@ class FleetConfig:
             raise ValueError("beacon period must be positive")
         if self.barrier_deadline_s <= 0:
             raise ValueError("barrier deadline must be positive")
-        if self.workload not in STYLES:
+        if self.style_spec is None and self.workload not in STYLES:
             raise ValueError(
                 f"unknown workload style {self.workload!r} "
                 f"(have: {', '.join(sorted(STYLES))})"
@@ -281,7 +306,9 @@ class FleetConfig:
 
     @property
     def style(self) -> WorkloadStyle:
-        """The named workload style this fleet runs."""
+        """The workload style this fleet runs (explicit spec wins)."""
+        if self.style_spec is not None:
+            return self.style_spec
         return STYLES[self.workload]
 
     def service_count(self, index: int) -> int:

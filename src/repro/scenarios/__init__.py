@@ -1,0 +1,62 @@
+"""Declarative fleet scenarios: config files with static guarantees.
+
+The scenario DSL (ROADMAP item 3) turns fleet experiments from Python
+into data: one file describes the fleet geometry, driver styles, service
+mixes, link parameters, fault plans, partition plans, and a ``sweep:``
+matrix -- and the static tier (:mod:`repro.analysis.scenario`, behind
+``vdaplint --scenarios``) proves it well-formed, unit-consistent,
+reference-closed, barrier-feasible, and within budget *before the first
+sim event fires*.
+
+Layers, bottom-up:
+
+* :mod:`.yamlish` -- the zero-dependency YAML-subset loader whose every
+  node remembers its source line (what makes findings point at files);
+* :mod:`.schema` -- the document schema: field tables, SCN001-003
+  validation, deterministic ``sweep:`` cell expansion;
+* :mod:`.compiler` -- lowering into :class:`~repro.fleet.config.
+  FleetConfig` cells (byte-identical traces to hand-built configs);
+* :mod:`.runner` -- matrix execution through the fleet substrate, with
+  per-cell reference hash checks.
+
+``python -m repro.scenarios`` runs, checks, and expands scenario files
+from the command line.
+"""
+
+from .compiler import (
+    CompiledCell,
+    Scenario,
+    ScenarioError,
+    compile_text,
+    load_scenario,
+)
+from .runner import CellOutcome, MODES, run_cell, run_matrix
+from .schema import Issue, validate
+from .yamlish import (
+    MappingNode,
+    ScalarNode,
+    ScenarioSyntaxError,
+    SequenceNode,
+    parse_file,
+    parse_text,
+)
+
+__all__ = [
+    "CellOutcome",
+    "CompiledCell",
+    "Issue",
+    "MODES",
+    "MappingNode",
+    "ScalarNode",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioSyntaxError",
+    "SequenceNode",
+    "compile_text",
+    "load_scenario",
+    "parse_file",
+    "parse_text",
+    "run_cell",
+    "run_matrix",
+    "validate",
+]

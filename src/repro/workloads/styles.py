@@ -30,12 +30,25 @@ class WorkloadStyle:
     heavy_stride: int = 0
     #: Planner cost annotation: relative cost of one service instance.
     service_cost_weight: float = 1.0
+    #: Explicit per-vehicle service counts (scenario rosters).  Non-empty
+    #: tables override the stride rule; indices wrap, so a table built
+    #: for N vehicles stays total for any probe index.
+    service_table: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "service_table", tuple(int(n) for n in self.service_table)
+        )
+        if any(n < 0 for n in self.service_table):
+            raise ValueError("service_table entries must be non-negative")
 
     def is_heavy(self, vehicle: int) -> bool:
         return self.heavy_stride > 0 and vehicle % self.heavy_stride == 0
 
     def service_count(self, vehicle: int) -> int:
         """Managed service instances vehicle ``vehicle`` runs."""
+        if self.service_table:
+            return self.service_table[vehicle % len(self.service_table)]
         return self.heavy_services if self.is_heavy(vehicle) else self.base_services
 
 

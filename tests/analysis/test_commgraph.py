@@ -70,6 +70,25 @@ class TestConstResolver:
         resolver = ConstResolver(graph)
         assert resolver.resolve_param(graph.functions["m.link"], "latency_s") is None
 
+    def test_dynamic_config_marker_excludes_the_site(self, tmp_path):
+        """A ``# vdaplint: dynamic-config`` site is dropped from the
+        min-over-sites proof -- its values are validated elsewhere."""
+        graph = graph_for(
+            tmp_path,
+            {
+                "m.py": (
+                    "def link(latency_s=5.0):\n"
+                    "    return latency_s\n"
+                    "def a():\n"
+                    "    link(latency_s=2.0)\n"
+                    "def compile_doc(opts):\n"
+                    "    link(**opts)  # vdaplint: dynamic-config\n"
+                )
+            },
+        )
+        resolver = ConstResolver(graph)
+        assert resolver.resolve_param(graph.functions["m.link"], "latency_s") == 2.0
+
     def test_runtime_expression_poisons_param(self, tmp_path):
         graph = graph_for(
             tmp_path,

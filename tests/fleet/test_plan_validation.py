@@ -1,0 +1,50 @@
+"""validate_shards error surfaces: every violation names its vehicles."""
+
+import pytest
+
+from repro.fleet.config import FleetConfig, validate_shards
+
+
+def test_shard_count_mismatch():
+    with pytest.raises(ValueError, match=r"3 shards for 2 partitions"):
+        validate_shards(((0,), (1,), (2,)), vehicles=3, partitions=2)
+
+
+def test_unknown_vehicle_ids_are_named():
+    with pytest.raises(
+        ValueError, match=r"unknown vehicle ids \[7, 9\] \(valid ids are 0..3\)"
+    ):
+        validate_shards(((0, 9), (1, 2, 3, 7)), vehicles=4, partitions=2)
+
+
+def test_duplicate_vehicle_ids_are_named():
+    with pytest.raises(
+        ValueError, match=r"ids \[1\] to more than one shard"
+    ):
+        validate_shards(((0, 1), (1, 2, 3)), vehicles=4, partitions=2)
+
+
+def test_unassigned_vehicle_ids_are_named():
+    with pytest.raises(ValueError, match=r"ids \[2, 3\] unassigned"):
+        validate_shards(((0,), (1,)), vehicles=4, partitions=2)
+
+
+def test_unsorted_shard_rejected():
+    with pytest.raises(ValueError, match="sorted"):
+        validate_shards(((1, 0), (2, 3)), vehicles=4, partitions=2)
+
+
+def test_empty_shard_is_allowed():
+    validate_shards(((0, 1, 2, 3), ()), vehicles=4, partitions=2)
+
+
+def test_fleet_config_surfaces_plan_errors():
+    with pytest.raises(ValueError, match=r"unknown vehicle ids \[5\]"):
+        FleetConfig(vehicles=4, partitions=2, plan=((0, 1), (2, 5)))
+    with pytest.raises(ValueError, match=r"\[3\] unassigned"):
+        FleetConfig(vehicles=4, partitions=2, plan=((0, 1), (2,)))
+
+
+def test_fleet_config_accepts_a_complete_plan():
+    config = FleetConfig(vehicles=4, partitions=2, plan=((0, 3), (1, 2)))
+    assert config.shards() == [(0, 3), (1, 2)]

@@ -1,0 +1,128 @@
+"""Schema semantics: issue anchoring, matrix expansion, settings maps."""
+
+from repro.scenarios import parse_text, validate
+from repro.scenarios.schema import (
+    base_settings,
+    config_defaults,
+    effective_vehicles,
+    expand_cells,
+    sweep_axes,
+)
+
+
+def issues_for(text):
+    return [(i.line, i.rule) for i in validate(parse_text(text))]
+
+
+def test_valid_minimal_document_is_clean():
+    assert issues_for("fleet:\n  vehicles: 4\n") == []
+
+
+def test_missing_fleet_section_is_reported():
+    issues = validate(parse_text("name: nothing\n"))
+    assert any(
+        i.rule == "SCN001" and "fleet" in i.message for i in issues
+    )
+
+
+def test_unknown_top_level_section():
+    issues = validate(parse_text("fleet:\n  vehicles: 4\nflee: {}\n"))
+    assert any("flee" in i.message and i.rule == "SCN001" for i in issues)
+
+
+def test_roster_count_mismatch_anchors_on_declared_count():
+    text = (
+        "fleet:\n"
+        "  vehicles: 3\n"   # line 2: contradicts the 2-entry roster
+        "vehicles:\n"
+        "  - id: 0\n"
+        "  - id: 1\n"
+    )
+    assert (2, "SCN001") in issues_for(text)
+
+
+def test_partitions_exceeding_vehicles_in_a_swept_cell():
+    text = (
+        "fleet:\n"
+        "  vehicles: 4\n"
+        "sweep:\n"
+        "  partitions: [2, 8]\n"  # line 4: the 8-partition cell is bad
+    )
+    assert (4, "SCN001") in issues_for(text)
+
+
+def test_expand_cells_is_row_major_over_sorted_axes():
+    doc = parse_text(
+        "fleet:\n"
+        "  vehicles: 8\n"
+        "sweep:\n"
+        "  workload: [uniform, skewed]\n"
+        "  partitions: [1, 2]\n"
+    )
+    names = [cell.name for cell in expand_cells(doc)]
+    assert names == [
+        "partitions=1/workload=uniform",
+        "partitions=1/workload=skewed",
+        "partitions=2/workload=uniform",
+        "partitions=2/workload=skewed",
+    ]
+
+
+def test_no_sweep_expands_to_single_base_cell():
+    doc = parse_text("fleet:\n  vehicles: 4\n")
+    cells = expand_cells(doc)
+    assert len(cells) == 1
+    assert cells[0].name == "base"
+    assert cells[0].overrides == ()
+
+
+def test_malformed_axis_values_drop_the_axis():
+    doc = parse_text(
+        "fleet:\n"
+        "  vehicles: 4\n"
+        "sweep:\n"
+        "  partitions: [2, nope]\n"
+    )
+    assert sweep_axes(doc) == []
+    assert len(expand_cells(doc)) == 1
+
+
+def test_base_settings_skip_malformed_entries():
+    doc = parse_text(
+        "fleet:\n"
+        "  vehicles: 4\n"
+        "  duration_s: -1.0\n"
+    )
+    settings = base_settings(doc)
+    assert settings["vehicles"].value == 4
+    assert "duration_s" not in settings
+
+
+def test_effective_vehicles_prefers_the_roster():
+    doc = parse_text(
+        "fleet:\n"
+        "  vehicles: 9\n"
+        "vehicles:\n"
+        "  - id: 0\n"
+        "  - id: 1\n"
+    )
+    assert effective_vehicles(doc, {"vehicles": 9}) == 2
+
+
+def test_config_defaults_track_the_dataclass():
+    from repro.fleet.config import FleetConfig
+
+    defaults = config_defaults()
+    assert defaults["vehicles"] == FleetConfig().vehicles
+    assert defaults["scheduler"] == FleetConfig().scheduler
+
+
+def test_issues_sorted_and_deduplicated():
+    text = (
+        "fleet:\n"
+        "  bogus_a: 1\n"
+        "  bogus_b: 2\n"
+    )
+    issues = validate(parse_text(text))
+    assert issues == sorted(issues)
+    assert len(issues) == len(set(issues))

@@ -1,0 +1,128 @@
+"""CalendarQueue edge cases: lazy bucket cleanup, resize paths, and
+pop-for-pop equivalence with the HeapQueue reference."""
+
+import numpy as np
+import pytest
+
+from repro.sim.queues import CalendarQueue, HeapQueue
+
+
+def drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop())
+    return out
+
+
+class TestMinBucketRemoval:
+    def test_remove_sole_entry_of_min_bucket_then_pop(self):
+        """remove() leaves a stale number in the bucket heap; the next
+        pop must lazily skip it and surface the following bucket."""
+        queue = CalendarQueue(width=1.0)
+        queue.push(0.5, 0, 1, "a")
+        queue.push(5.5, 0, 2, "b")
+        assert queue.remove(0.5, 0, 1)
+        assert len(queue) == 1
+        assert queue.peek() == 5.5
+        assert queue.pop() == (5.5, 0, 2, "b")
+        assert len(queue) == 0
+
+    def test_remove_sole_entry_then_pop_empty_raises(self):
+        queue = CalendarQueue(width=1.0)
+        queue.push(0.5, 0, 1, "a")
+        assert queue.remove(0.5, 0, 1)
+        assert queue.peek() == float("inf")
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_pop_sole_entry_of_min_bucket_advances_to_next(self):
+        """pop() itself empties the min bucket eagerly: the bucket and
+        its heap number go together, and the calendar moves on."""
+        queue = CalendarQueue(width=1.0)
+        queue.push(0.25, 0, 1, "a")
+        queue.push(3.75, 0, 2, "b")
+        assert queue.pop() == (0.25, 0, 1, "a")
+        assert queue.peek() == 3.75
+        assert queue.pop() == (3.75, 0, 2, "b")
+
+    def test_remove_missing_key_leaves_queue_intact(self):
+        queue = CalendarQueue(width=1.0)
+        queue.push(0.5, 0, 1, "a")
+        assert not queue.remove(0.5, 0, 2)
+        assert not queue.remove(7.5, 0, 1)
+        assert len(queue) == 1
+        assert queue.pop() == (0.5, 0, 1, "a")
+
+
+class TestOccupancyResize:
+    def test_overfull_bucket_triggers_width_shrink(self):
+        """RESIZE_CHECK pushes into one bucket blow the occupancy cap;
+        the rebuild re-derives a much smaller width from the time span."""
+        queue = CalendarQueue(width=1000.0)
+        count = CalendarQueue.RESIZE_CHECK
+        for seq in range(count):
+            queue.push(seq * 0.25, 0, seq, None)
+        assert queue._width < 1000.0
+        assert len(queue._buckets) > 1
+        assert len(queue) == count
+
+    def test_single_instant_pileup_widens_instead(self):
+        """All entries at one instant have zero span: the resize cannot
+        split them, so the width doubles to keep them in one bucket."""
+        queue = CalendarQueue(width=0.5)
+        count = CalendarQueue.RESIZE_CHECK
+        for seq in range(count):
+            queue.push(42.0, 0, seq, None)
+        assert queue._width > 0.5
+        assert len(queue._buckets) == 1
+        assert [e[2] for e in drain(queue)] == list(range(count))
+
+    def test_resize_preserves_pop_order(self):
+        queue = CalendarQueue(width=500.0)
+        reference = HeapQueue()
+        rng = np.random.default_rng(1234)
+        for seq in range(3 * CalendarQueue.RESIZE_CHECK):
+            when = float(rng.uniform(0.0, 50.0))
+            priority = int(rng.integers(0, 3))
+            queue.push(when, priority, seq, seq)
+            reference.push(when, priority, seq, seq)
+        assert drain(queue) == drain(reference)
+
+
+class TestHeapEquivalence:
+    def test_pop_for_pop_identical_under_mixed_operations(self):
+        """Interleaved push/pop/remove keep both backends in lockstep,
+        entry for entry -- the contract that makes the scheduler
+        swappable without touching a trace hash."""
+        rng = np.random.default_rng(99)
+        calendar = CalendarQueue(width=2.0)
+        heap = HeapQueue()
+        live = []
+        seq = 0
+        for _step in range(2000):
+            action = float(rng.random())
+            if action < 0.55 or not live:
+                when = round(float(rng.uniform(0.0, 100.0)), 3)
+                priority = int(rng.integers(0, 4))
+                calendar.push(when, priority, seq, seq)
+                heap.push(when, priority, seq, seq)
+                live.append((when, priority, seq))
+                seq += 1
+            elif action < 0.8:
+                assert calendar.pop() == heap.pop()
+                live.remove(min(live))
+            else:
+                victim = live[int(rng.integers(len(live)))]
+                assert calendar.remove(*victim) == heap.remove(*victim)
+                live.remove(victim)
+            assert len(calendar) == len(heap)
+            assert calendar.peek() == heap.peek()
+        assert drain(calendar) == drain(heap)
+
+    def test_same_time_same_priority_fifo_tiebreak(self):
+        calendar = CalendarQueue(width=1.0)
+        heap = HeapQueue()
+        for seq in (5, 6, 7, 8):
+            calendar.push(1.0, 0, seq, f"e{seq}")
+            heap.push(1.0, 0, seq, f"e{seq}")
+        assert drain(calendar) == drain(heap)

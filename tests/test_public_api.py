@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.obs",
     "repro.scenario",
+    "repro.scenarios",
 ]
 
 
